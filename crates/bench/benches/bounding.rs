@@ -1,0 +1,67 @@
+//! Bounding pass cost: exact vs approximate, in-memory vs dataflow — the
+//! runtime side of the §6.2 quality/decisiveness trade-off.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use submod_core::{GraphBuilder, PairwiseObjective, SimilarityGraph};
+use submod_dataflow::Pipeline;
+use submod_dist::{bound_dataflow, bound_in_memory, BoundingConfig, SamplingStrategy};
+
+fn instance(n: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u64 {
+        for _ in 0..5 {
+            let w = rng.gen_range(0..n as u64);
+            if w != v {
+                b.add_undirected(v, w, rng.gen_range(0.01..1.0)).unwrap();
+            }
+        }
+    }
+    let graph = b.build();
+    // Utility-dominated (α = 0.9 regime) so bounding actually decides.
+    let utilities: Vec<f32> = (0..n).map(|_| rng.gen_range(0.5..1.5)).collect();
+    (graph, PairwiseObjective::from_alpha(0.9, utilities).unwrap())
+}
+
+fn bench_in_memory(c: &mut Criterion) {
+    let (graph, objective) = instance(10_000, 1);
+    let k = 1_000;
+    let mut group = c.benchmark_group("bounding_in_memory_10k");
+    group.sample_size(20);
+    group.bench_function("exact", |b| {
+        b.iter(|| bound_in_memory(&graph, &objective, k, &BoundingConfig::exact()).unwrap())
+    });
+    for fraction in [0.3, 0.7] {
+        group.bench_function(format!("uniform_{fraction}"), |b| {
+            let cfg =
+                BoundingConfig::approximate(fraction, SamplingStrategy::Uniform, 3).unwrap();
+            b.iter(|| bound_in_memory(&graph, &objective, k, &cfg).unwrap())
+        });
+        group.bench_function(format!("weighted_{fraction}"), |b| {
+            let cfg =
+                BoundingConfig::approximate(fraction, SamplingStrategy::Weighted, 3).unwrap();
+            b.iter(|| bound_in_memory(&graph, &objective, k, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_dataflow_vs_memory(c: &mut Criterion) {
+    let (graph, objective) = instance(2_000, 2);
+    let k = 200;
+    let cfg = BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 3).unwrap();
+    let mut group = c.benchmark_group("bounding_executor_2k");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| bound_in_memory(&graph, &objective, k, &cfg).unwrap())
+    });
+    group.bench_function("dataflow_4workers", |b| {
+        let pipeline = Pipeline::new(4).unwrap();
+        b.iter(|| bound_dataflow(&pipeline, &graph, &objective, k, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_in_memory, bench_dataflow_vs_memory);
+criterion_main!(benches);

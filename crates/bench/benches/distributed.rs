@@ -1,0 +1,65 @@
+//! Distributed greedy cost as partitions and rounds scale (the runtime
+//! behind Figures 3/4), plus the GreeDi baseline for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use submod_core::{GraphBuilder, NodeId, PairwiseObjective, SimilarityGraph};
+use submod_dist::{distributed_greedy, greedi, DistGreedyConfig, PartitionStyle};
+
+fn instance(n: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u64 {
+        for _ in 0..5 {
+            let w = rng.gen_range(0..n as u64);
+            if w != v {
+                b.add_undirected(v, w, rng.gen_range(0.01..1.0)).unwrap();
+            }
+        }
+    }
+    let graph = b.build();
+    let utilities: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (graph, PairwiseObjective::from_alpha(0.9, utilities).unwrap())
+}
+
+fn bench_partitions_and_rounds(c: &mut Criterion) {
+    let (graph, objective) = instance(20_000, 1);
+    let ground: Vec<NodeId> = (0..20_000).map(NodeId::from_index).collect();
+    let k = 2_000;
+    let mut group = c.benchmark_group("distributed_greedy_20k");
+    group.sample_size(10);
+    for (partitions, rounds) in [(4usize, 1usize), (16, 1), (4, 8), (16, 8)] {
+        for adaptive in [false, true] {
+            let name = format!(
+                "p{partitions}_r{rounds}{}",
+                if adaptive { "_adaptive" } else { "" }
+            );
+            group.bench_function(name, |b| {
+                let config = DistGreedyConfig::new(partitions, rounds)
+                    .unwrap()
+                    .adaptive(adaptive)
+                    .seed(7);
+                b.iter(|| distributed_greedy(&graph, &objective, &ground, k, &config).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_greedi_baseline(c: &mut Criterion) {
+    let (graph, objective) = instance(20_000, 2);
+    let k = 2_000;
+    let mut group = c.benchmark_group("greedi_20k");
+    group.sample_size(10);
+    for machines in [4usize, 16] {
+        group.bench_function(format!("m{machines}"), |b| {
+            b.iter(|| {
+                greedi(&graph, &objective, k, machines, PartitionStyle::Random, 3).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitions_and_rounds, bench_greedi_baseline);
+criterion_main!(benches);

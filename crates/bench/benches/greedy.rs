@@ -1,0 +1,63 @@
+//! Centralized greedy variants (paper §3 "Related optimizations"):
+//! priority-queue greedy vs lazy greedy vs stochastic greedy vs the naive
+//! Algorithm 1 oracle — quantifying the claim that lazy evaluation is not
+//! advantageous for pairwise objectives.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use submod_core::{
+    greedy_select, lazy_greedy_select, naive_greedy_select, stochastic_greedy_select,
+    GraphBuilder, PairwiseObjective, SimilarityGraph,
+};
+
+fn instance(n: usize, degree: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u64 {
+        for _ in 0..degree {
+            let w = rng.gen_range(0..n as u64);
+            if w != v {
+                b.add_undirected(v, w, rng.gen_range(0.01..1.0)).unwrap();
+            }
+        }
+    }
+    let graph = b.build();
+    let utilities: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (graph, PairwiseObjective::from_alpha(0.9, utilities).unwrap())
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let (graph, objective) = instance(5_000, 5, 1);
+    let k = 500;
+    let mut group = c.benchmark_group("greedy_variants_5k");
+    group.sample_size(20);
+    group.bench_function("priority_queue", |b| {
+        b.iter(|| greedy_select(&graph, &objective, k).unwrap())
+    });
+    group.bench_function("lazy", |b| {
+        b.iter(|| lazy_greedy_select(&graph, &objective, k).unwrap())
+    });
+    group.bench_function("stochastic_eps0.1", |b| {
+        b.iter(|| stochastic_greedy_select(&graph, &objective, k, 0.1, 7).unwrap())
+    });
+    group.sample_size(10);
+    group.bench_function("naive_oracle", |b| {
+        b.iter(|| naive_greedy_select(&graph, &objective, k).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_scaling");
+    group.sample_size(10);
+    for n in [2_000usize, 10_000, 50_000] {
+        let (graph, objective) = instance(n, 5, 2);
+        group.bench_function(format!("pq_n{n}_k10pct"), |b| {
+            b.iter(|| greedy_select(&graph, &objective, n / 10).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_scaling);
+criterion_main!(benches);

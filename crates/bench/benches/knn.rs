@@ -1,0 +1,47 @@
+//! k-NN graph construction backends: exact vs IVF vs LSH build cost (the
+//! §6 graph-construction stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use submod_knn::{build_knn_graph, Embeddings, KnnBackend};
+
+fn embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let flat: Vec<f32> = (0..n * dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    Embeddings::from_flat(dim, flat).unwrap()
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let data = embeddings(3_000, 32, 1);
+    let mut group = c.benchmark_group("knn_build_3k_32d");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| build_knn_graph(&data, 10, &KnnBackend::Exact, 0).unwrap())
+    });
+    group.bench_function("ivf_55x4", |b| {
+        b.iter(|| {
+            build_knn_graph(&data, 10, &KnnBackend::Ivf { nlist: 55, nprobe: 4 }, 0).unwrap()
+        })
+    });
+    group.bench_function("lsh_8x10", |b| {
+        b.iter(|| {
+            build_knn_graph(&data, 10, &KnnBackend::Lsh { tables: 8, bits: 10 }, 0).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_exact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knn_exact_scaling");
+    group.sample_size(10);
+    for n in [1_000usize, 4_000] {
+        let data = embeddings(n, 32, 2);
+        group.bench_function(format!("n{n}"), |b| {
+            b.iter(|| build_knn_graph(&data, 10, &KnnBackend::Exact, 0).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_exact_scaling);
+criterion_main!(benches);

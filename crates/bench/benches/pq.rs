@@ -1,0 +1,63 @@
+//! Microbenchmarks for the addressable priority queue — the innermost data
+//! structure of Algorithm 2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use submod_core::AddressablePq;
+
+fn priorities(n: usize) -> Vec<f64> {
+    (0..n).map(|i| ((i * 2_654_435_761) % 1_000_003) as f64 / 7.0).collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pq_build");
+    for n in [1_000usize, 10_000, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = priorities(n);
+            b.iter(|| AddressablePq::with_priorities(black_box(p.clone())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pop_all(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pq_pop_all");
+    for n in [1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = priorities(n);
+            b.iter(|| {
+                let mut pq = AddressablePq::with_priorities(p.clone());
+                while let Some(top) = pq.pop_max() {
+                    black_box(top);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_greedy_mix(c: &mut Criterion) {
+    // The pop + decrease-neighbors pattern of Algorithm 2: one pop followed
+    // by ~10 decrease_by calls, as with a 10-NN graph.
+    let mut group = c.benchmark_group("pq_greedy_mix");
+    for n in [10_000usize, 100_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let p = priorities(n);
+            b.iter(|| {
+                let mut pq = AddressablePq::with_priorities(p.clone());
+                for step in 0..n / 20 {
+                    let (v, _) = pq.pop_max().expect("non-empty");
+                    for d in 1..=10u32 {
+                        let w = (v + d * 97 + step as u32) % n as u32;
+                        if pq.contains(w) {
+                            pq.decrease_by(w, 0.01 * f64::from(d));
+                        }
+                    }
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build, bench_pop_all, bench_greedy_mix);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Experiment harness reproducing every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p submod-bench --release --bin experiments -- <experiment> [options]
+//!
+//! experiments:
+//!   fig1      bounding walkthrough (Figure 1)
+//!   fig2      distributed-greedy walkthrough (Figure 2)
+//!   fig3      CIFAR heatmaps, non-adaptive (Figures 3 & 12)
+//!   fig13     ImageNet heatmaps, non-adaptive (Figure 13)
+//!   fig4      CIFAR heatmaps, adaptive (Figures 4 & 14)
+//!   fig15     ImageNet heatmaps, adaptive (Figure 15)
+//!   fig5      subset visualization (Figure 5)
+//!   delta     Δ-schedule γ ablation (Figures 6–11)
+//!   table2    bounding results (Table 2)
+//!   table3    worst-case partitioning (Table 3)
+//!   table4    perturbed-dataset runtimes (Table 4)
+//!   sec63     13 B-point scalability analogue (§6.3)
+//!   fig16     bounding + greedy heatmaps (Figures 16 & 17)
+//!   baselines GreeDi / RandGreeDi memory-vs-quality comparison
+//!   theory    Theorem 4.6 guarantee vs empirical quality
+//!   ltm       larger-than-memory budget sweep (outcome invariance)
+//!   all       everything above
+//!
+//! options:
+//!   --scale F   dataset scale factor (default 0.1; 1.0 = paper sizes)
+//!   --out DIR   artifact directory (default results/)
+//!   --quick     coarse grids for smoke runs
+//! ```
+
+mod common;
+mod exp_baseline;
+mod exp_bounding;
+mod exp_delta;
+mod exp_heatmaps;
+mod exp_ltm;
+mod exp_runtime;
+mod exp_visual;
+mod exp_walkthrough;
+mod exp_worstcase;
+mod output;
+
+use common::BenchCtx;
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        print_usage();
+        return;
+    }
+    let experiment = args[0].clone();
+    let mut ctx = BenchCtx { out_dir: PathBuf::from("results"), scale: 0.1, quick: false };
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                ctx.scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--scale expects a number"));
+            }
+            "--out" => {
+                i += 1;
+                ctx.out_dir =
+                    PathBuf::from(args.get(i).unwrap_or_else(|| die("--out expects a path")));
+            }
+            "--quick" => ctx.quick = true,
+            other => die(&format!("unknown option `{other}`")),
+        }
+        i += 1;
+    }
+
+    let start = Instant::now();
+    run(&experiment, &ctx);
+    println!("\ntotal experiment time: {:.1?}", start.elapsed());
+}
+
+fn run(experiment: &str, ctx: &BenchCtx) {
+    match experiment {
+        "fig1" => exp_walkthrough::fig1(ctx),
+        "fig2" => exp_walkthrough::fig2(ctx),
+        "fig3" | "fig12" => exp_heatmaps::fig3(ctx),
+        "fig13" => exp_heatmaps::fig13(ctx),
+        "fig4" | "fig14" => exp_heatmaps::fig4(ctx),
+        "fig15" => exp_heatmaps::fig15(ctx),
+        "fig5" => exp_visual::fig5(ctx),
+        "delta" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig11" => {
+            exp_delta::delta_ablation(ctx)
+        }
+        "table2" => exp_bounding::table2(ctx),
+        "table3" => exp_worstcase::table3(ctx),
+        "table4" => exp_runtime::table4(ctx),
+        "sec63" => exp_runtime::sec63(ctx),
+        "fig16" | "fig17" => exp_bounding::fig16_17(ctx),
+        "baselines" | "table1" => exp_baseline::baselines(ctx),
+        "theory" => exp_bounding::theory(ctx),
+        "ltm" => exp_ltm::ltm(ctx),
+        "all" => {
+            for exp in [
+                "fig1", "fig2", "fig3", "fig13", "fig4", "fig15", "fig5", "delta", "table2",
+                "table3", "table4", "sec63", "fig16", "baselines", "theory", "ltm",
+            ] {
+                println!("\n================ {exp} ================");
+                run(exp, ctx);
+            }
+        }
+        other => die(&format!("unknown experiment `{other}`")),
+    }
+}
+
+fn print_usage() {
+    println!(
+        "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|all> \
+         [--scale F] [--out DIR] [--quick]"
+    );
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

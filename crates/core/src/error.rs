@@ -1,0 +1,110 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the core selection primitives.
+///
+/// All public fallible functions in this crate return `Result<_, CoreError>`.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A node id referenced a node outside the ground set.
+    NodeOutOfBounds {
+        /// The offending node index.
+        node: u64,
+        /// The number of nodes in the ground set.
+        num_nodes: usize,
+    },
+    /// An edge weight was negative, NaN, or infinite.
+    InvalidWeight {
+        /// The offending weight.
+        weight: f32,
+    },
+    /// A self-loop edge `(v, v)` was supplied.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: u64,
+    },
+    /// The balancing parameters were invalid (negative, NaN, or `α = 0`).
+    InvalidBalance {
+        /// The utility coefficient α.
+        alpha: f64,
+        /// The diversity coefficient β.
+        beta: f64,
+    },
+    /// A utility value was NaN or infinite.
+    InvalidUtility {
+        /// The node whose utility is invalid.
+        node: u64,
+        /// The offending utility.
+        utility: f32,
+    },
+    /// The number of utilities did not match the graph size.
+    UtilityLengthMismatch {
+        /// Number of utilities provided.
+        utilities: usize,
+        /// Number of nodes expected.
+        num_nodes: usize,
+    },
+    /// A requested subset size exceeded the ground set.
+    BudgetTooLarge {
+        /// The requested cardinality `k`.
+        budget: usize,
+        /// The available ground set size.
+        available: usize,
+    },
+    /// A parameter that must be positive was zero.
+    EmptyParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} is out of bounds for ground set of {num_nodes} nodes")
+            }
+            CoreError::InvalidWeight { weight } => {
+                write!(f, "edge weight {weight} is not a finite non-negative number")
+            }
+            CoreError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            CoreError::InvalidBalance { alpha, beta } => {
+                write!(f, "balance parameters alpha={alpha}, beta={beta} are invalid")
+            }
+            CoreError::InvalidUtility { node, utility } => {
+                write!(f, "utility {utility} of node {node} is not finite")
+            }
+            CoreError::UtilityLengthMismatch { utilities, num_nodes } => {
+                write!(f, "{utilities} utilities provided for {num_nodes} nodes")
+            }
+            CoreError::BudgetTooLarge { budget, available } => {
+                write!(f, "budget {budget} exceeds available ground set of {available} nodes")
+            }
+            CoreError::EmptyParameter { name } => {
+                write!(f, "parameter `{name}` must be positive")
+            }
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = CoreError::NodeOutOfBounds { node: 5, num_nodes: 3 };
+        let msg = err.to_string();
+        assert!(msg.contains('5') && msg.contains('3'));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<CoreError>();
+    }
+}

@@ -1,0 +1,574 @@
+use crate::{CoreError, NodeId};
+use std::collections::HashMap;
+
+/// A compact CSR (compressed sparse row) similarity graph.
+///
+/// Nodes are dense indices `0..n`; each node stores a sorted list of
+/// `(neighbor, similarity)` pairs. The paper (§6) builds a 10-nearest-
+/// neighbor cosine-similarity graph and symmetrizes it; [`SimilarityGraph`]
+/// is the in-memory form of that structure, and [`GraphBuilder`] the way to
+/// construct it from an edge stream.
+///
+/// The objective treats edges as *undirected*: a symmetric graph stores both
+/// directions and [`crate::PairwiseObjective::evaluate`] counts each
+/// undirected edge once.
+///
+/// ```
+/// use submod_core::{GraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), submod_core::CoreError> {
+/// let mut builder = GraphBuilder::new(3);
+/// builder.add_undirected(0, 1, 0.5)?;
+/// builder.add_directed(1, 2, 0.25)?;
+/// let graph = builder.build().symmetrized();
+///
+/// assert_eq!(graph.num_nodes(), 3);
+/// assert_eq!(graph.degree(NodeId::new(1)), 2);
+/// assert!(graph.is_symmetric());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimilarityGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<NodeId>,
+    weights: Vec<f32>,
+}
+
+impl SimilarityGraph {
+    /// Creates a graph with `num_nodes` nodes and no edges.
+    pub fn empty(num_nodes: usize) -> Self {
+        SimilarityGraph {
+            offsets: vec![0; num_nodes + 1],
+            neighbors: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Number of nodes in the ground set.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of stored directed edges.
+    #[inline]
+    pub fn num_directed_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Number of undirected edges in a symmetric graph (directed count / 2).
+    ///
+    /// Only meaningful when [`Self::is_symmetric`] holds.
+    #[inline]
+    pub fn num_undirected_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Out-degree of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of bounds.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.offsets[v.index() + 1] - self.offsets[v.index()]
+    }
+
+    /// Neighbor ids of node `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Similarity weights aligned with [`Self::neighbors`].
+    #[inline]
+    pub fn weights(&self, v: NodeId) -> &[f32] {
+        &self.weights[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    }
+
+    /// Iterates `(neighbor, similarity)` pairs of node `v`.
+    #[inline]
+    pub fn edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f32)> + '_ {
+        self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
+    }
+
+    /// Sum of similarity weights incident to `v` (its *weighted degree*).
+    ///
+    /// This is the `Σ_j s(v, j)` term of the minimum utility (Def. 4.1) and
+    /// of the monotonicity offset δ (Appendix A).
+    pub fn weighted_degree(&self, v: NodeId) -> f64 {
+        self.weights(v).iter().map(|&w| f64::from(w)).sum()
+    }
+
+    /// Maximum weighted degree over all nodes (0.0 for an empty graph).
+    pub fn max_weighted_degree(&self) -> f64 {
+        (0..self.num_nodes())
+            .map(|i| self.weighted_degree(NodeId::from_index(i)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Minimum degree `k_g` over all nodes (Theorem 4.6's exponent).
+    pub fn min_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|i| self.degree(NodeId::from_index(i)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Average degree over all nodes.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.num_directed_edges() as f64 / self.num_nodes() as f64
+    }
+
+    /// Smallest and largest non-zero edge weight `[a, b]` (Theorem 4.6).
+    ///
+    /// Returns `None` if the graph has no edges.
+    pub fn weight_range(&self) -> Option<(f32, f32)> {
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &w in &self.weights {
+            if w > 0.0 {
+                min = min.min(w);
+                max = max.max(w);
+            }
+        }
+        (min <= max).then_some((min, max))
+    }
+
+    /// Returns the weight of edge `(v, w)` if present.
+    pub fn edge_weight(&self, v: NodeId, w: NodeId) -> Option<f32> {
+        let nbrs = self.neighbors(v);
+        nbrs.binary_search(&w).ok().map(|pos| self.weights(v)[pos])
+    }
+
+    /// Returns `true` if every edge `(v, w)` has a matching `(w, v)` with the
+    /// same weight.
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.num_nodes() {
+            let v = NodeId::from_index(i);
+            for (w, s) in self.edges(v) {
+                match self.edge_weight(w, v) {
+                    Some(back) if back == s => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+
+    /// Returns the symmetric closure: the union of both edge directions,
+    /// keeping the larger weight when both directions exist with different
+    /// weights.
+    ///
+    /// This mirrors the paper's §6 step "we symmetrize the graph, such that
+    /// datapoints have a varying amount of, but at least k, neighbors".
+    pub fn symmetrized(&self) -> SimilarityGraph {
+        let mut edges: Vec<(NodeId, NodeId, f32)> =
+            Vec::with_capacity(self.num_directed_edges() * 2);
+        for i in 0..self.num_nodes() {
+            let v = NodeId::from_index(i);
+            for (w, s) in self.edges(v) {
+                edges.push((v, w, s));
+                edges.push((w, v, s));
+            }
+        }
+        Self::from_directed_edges_internal(self.num_nodes(), edges)
+    }
+
+    /// Exposes the raw CSR arrays `(offsets, neighbors, weights)` for
+    /// serialization (e.g. the k-NN graph disk cache).
+    pub fn csr_parts(&self) -> (&[usize], &[NodeId], &[f32]) {
+        (&self.offsets, &self.neighbors, &self.weights)
+    }
+
+    /// Rebuilds a graph from raw CSR arrays produced by
+    /// [`Self::csr_parts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the arrays are inconsistent (offsets not
+    /// monotone or out of range, mismatched lengths, self-loops, invalid
+    /// weights, or unsorted neighbor lists).
+    pub fn from_csr_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<NodeId>,
+        weights: Vec<f32>,
+    ) -> Result<Self, CoreError> {
+        if offsets.is_empty() || *offsets.last().expect("non-empty") != neighbors.len() {
+            return Err(CoreError::EmptyParameter { name: "offsets" });
+        }
+        if neighbors.len() != weights.len() {
+            return Err(CoreError::UtilityLengthMismatch {
+                utilities: weights.len(),
+                num_nodes: neighbors.len(),
+            });
+        }
+        let num_nodes = offsets.len() - 1;
+        for pair in offsets.windows(2) {
+            if pair[1] < pair[0] {
+                return Err(CoreError::EmptyParameter { name: "offsets" });
+            }
+        }
+        for v in 0..num_nodes {
+            let row = &neighbors[offsets[v]..offsets[v + 1]];
+            for pair in row.windows(2) {
+                if pair[1] <= pair[0] {
+                    return Err(CoreError::SelfLoop { node: pair[1].raw() });
+                }
+            }
+            for &w in row {
+                if w.index() >= num_nodes {
+                    return Err(CoreError::NodeOutOfBounds { node: w.raw(), num_nodes });
+                }
+                if w.index() == v {
+                    return Err(CoreError::SelfLoop { node: w.raw() });
+                }
+            }
+        }
+        for &w in &weights {
+            if !(w.is_finite() && w >= 0.0) {
+                return Err(CoreError::InvalidWeight { weight: w });
+            }
+        }
+        Ok(SimilarityGraph { offsets, neighbors, weights })
+    }
+
+    /// Approximate resident memory of the CSR arrays in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * size_of::<usize>()
+            + self.neighbors.len() * size_of::<NodeId>()
+            + self.weights.len() * size_of::<f32>()
+    }
+
+    /// Builds the subgraph induced by `nodes`, relabeling to local dense
+    /// indices `0..nodes.len()` in the given order.
+    ///
+    /// Edges to nodes outside `nodes` are discarded — exactly the
+    /// information loss the distributed greedy algorithm (paper §4.4)
+    /// incurs when it partitions the ground set ("we discard any
+    /// neighborhood relation across partitions").
+    ///
+    /// Returns the local graph; `nodes[local]` recovers the global id.
+    pub fn induced_subgraph(&self, nodes: &[NodeId]) -> SimilarityGraph {
+        let local: HashMap<NodeId, u32> =
+            nodes.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
+        let mut offsets = Vec::with_capacity(nodes.len() + 1);
+        let mut neighbors = Vec::new();
+        let mut weights = Vec::new();
+        offsets.push(0);
+        for &v in nodes {
+            let start = neighbors.len();
+            for (w, s) in self.edges(v) {
+                if let Some(&lw) = local.get(&w) {
+                    neighbors.push(NodeId::new(u64::from(lw)));
+                    weights.push(s);
+                }
+            }
+            // Re-sort locally: global neighbor order does not imply local order.
+            let mut pairs: Vec<(NodeId, f32)> =
+                neighbors[start..].iter().copied().zip(weights[start..].iter().copied()).collect();
+            pairs.sort_by_key(|&(id, _)| id);
+            for (slot, (id, s)) in pairs.into_iter().enumerate() {
+                neighbors[start + slot] = id;
+                weights[start + slot] = s;
+            }
+            offsets.push(neighbors.len());
+        }
+        SimilarityGraph { offsets, neighbors, weights }
+    }
+
+    fn from_directed_edges_internal(
+        num_nodes: usize,
+        mut edges: Vec<(NodeId, NodeId, f32)>,
+    ) -> SimilarityGraph {
+        edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(b.2.total_cmp(&a.2)));
+        // Deduplicate keeping the max weight (first after the sort above).
+        edges.dedup_by_key(|e| (e.0, e.1));
+
+        let mut offsets = vec![0usize; num_nodes + 1];
+        for &(v, _, _) in &edges {
+            offsets[v.index() + 1] += 1;
+        }
+        for i in 0..num_nodes {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut neighbors = Vec::with_capacity(edges.len());
+        let mut weights = Vec::with_capacity(edges.len());
+        for (_, w, s) in edges {
+            neighbors.push(w);
+            weights.push(s);
+        }
+        SimilarityGraph { offsets, neighbors, weights }
+    }
+}
+
+/// Incremental builder for [`SimilarityGraph`].
+///
+/// Collects an edge stream, validates it (finite non-negative weights, no
+/// self-loops, ids in bounds), deduplicates parallel edges keeping the
+/// largest weight, and produces the CSR form.
+///
+/// ```
+/// use submod_core::GraphBuilder;
+///
+/// # fn main() -> Result<(), submod_core::CoreError> {
+/// let mut builder = GraphBuilder::new(4);
+/// builder.add_undirected(0, 1, 0.9)?;
+/// builder.add_undirected(0, 1, 0.4)?; // duplicate: max weight wins
+/// let graph = builder.build();
+/// assert_eq!(graph.num_directed_edges(), 2);
+/// assert_eq!(graph.weights(submod_core::NodeId::new(0)), &[0.9]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId, f32)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph over `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder { num_nodes, edges: Vec::new() }
+    }
+
+    /// Number of nodes the built graph will have.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges added so far (before deduplication).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    fn validate(&self, v: u64, w: u64, weight: f32) -> Result<(), CoreError> {
+        if !(weight.is_finite() && weight >= 0.0) {
+            return Err(CoreError::InvalidWeight { weight });
+        }
+        if v == w {
+            return Err(CoreError::SelfLoop { node: v });
+        }
+        for node in [v, w] {
+            if node as usize >= self.num_nodes {
+                return Err(CoreError::NodeOutOfBounds { node, num_nodes: self.num_nodes });
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds a directed edge `v → w` with similarity `weight`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the weight is not a finite non-negative number,
+    /// the edge is a self-loop, or an endpoint is out of bounds.
+    pub fn add_directed(&mut self, v: u64, w: u64, weight: f32) -> Result<&mut Self, CoreError> {
+        self.validate(v, w, weight)?;
+        self.edges.push((NodeId::new(v), NodeId::new(w), weight));
+        Ok(self)
+    }
+
+    /// Adds both directions `v ↔ w` with similarity `weight`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Self::add_directed`].
+    pub fn add_undirected(&mut self, v: u64, w: u64, weight: f32) -> Result<&mut Self, CoreError> {
+        self.validate(v, w, weight)?;
+        self.edges.push((NodeId::new(v), NodeId::new(w), weight));
+        self.edges.push((NodeId::new(w), NodeId::new(v), weight));
+        Ok(self)
+    }
+
+    /// Finishes the build, consuming the accumulated edges.
+    pub fn build(&mut self) -> SimilarityGraph {
+        SimilarityGraph::from_directed_edges_internal(self.num_nodes, std::mem::take(&mut self.edges))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> SimilarityGraph {
+        // 0-1, 1-2, 2-3, 3-0 ring plus a 0-2 chord.
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(0, 1, 0.1).unwrap();
+        b.add_undirected(1, 2, 0.2).unwrap();
+        b.add_undirected(2, 3, 0.3).unwrap();
+        b.add_undirected(3, 0, 0.4).unwrap();
+        b.add_undirected(0, 2, 0.5).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn csr_layout_is_sorted_per_node() {
+        let g = diamond();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_directed_edges(), 10);
+        assert_eq!(g.num_undirected_edges(), 5);
+        let n0: Vec<u64> = g.neighbors(NodeId::new(0)).iter().map(|n| n.raw()).collect();
+        assert_eq!(n0, vec![1, 2, 3]);
+        assert_eq!(g.weights(NodeId::new(0)), &[0.1, 0.5, 0.4]);
+    }
+
+    #[test]
+    fn weighted_degree_sums_similarities() {
+        let g = diamond();
+        let wd = g.weighted_degree(NodeId::new(0));
+        assert!((wd - 1.0).abs() < 1e-6, "0.1 + 0.5 + 0.4 = 1.0, got {wd}");
+        assert!((g.max_weighted_degree() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_and_avg_degree() {
+        let g = diamond();
+        assert_eq!(g.min_degree(), 2);
+        assert!((g.avg_degree() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weight_range_covers_extremes() {
+        let g = diamond();
+        assert_eq!(g.weight_range(), Some((0.1, 0.5)));
+        assert_eq!(SimilarityGraph::empty(3).weight_range(), None);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let g = diamond();
+        assert!(g.is_symmetric());
+        let mut b = GraphBuilder::new(3);
+        b.add_directed(0, 1, 0.5).unwrap();
+        let asym = b.build();
+        assert!(!asym.is_symmetric());
+        assert!(asym.symmetrized().is_symmetric());
+    }
+
+    #[test]
+    fn symmetrize_unions_directions() {
+        let mut b = GraphBuilder::new(3);
+        b.add_directed(0, 1, 0.5).unwrap();
+        b.add_directed(1, 0, 0.7).unwrap(); // conflicting back edge: max wins
+        b.add_directed(1, 2, 0.2).unwrap();
+        let g = b.build().symmetrized();
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(1)), Some(0.7));
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(0)), Some(0.7));
+        assert_eq!(g.edge_weight(NodeId::new(2), NodeId::new(1)), Some(0.2));
+        assert_eq!(g.num_undirected_edges(), 2);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_max_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_directed(0, 1, 0.3).unwrap();
+        b.add_directed(0, 1, 0.9).unwrap();
+        b.add_directed(0, 1, 0.5).unwrap();
+        let g = b.build();
+        assert_eq!(g.num_directed_edges(), 1);
+        assert_eq!(g.weights(NodeId::new(0)), &[0.9]);
+    }
+
+    #[test]
+    fn rejects_invalid_input() {
+        let mut b = GraphBuilder::new(3);
+        assert_eq!(b.add_directed(0, 0, 0.5).unwrap_err(), CoreError::SelfLoop { node: 0 });
+        assert_eq!(
+            b.add_directed(0, 5, 0.5).unwrap_err(),
+            CoreError::NodeOutOfBounds { node: 5, num_nodes: 3 }
+        );
+        assert!(matches!(b.add_directed(0, 1, -1.0).unwrap_err(), CoreError::InvalidWeight { .. }));
+        assert!(matches!(
+            b.add_directed(0, 1, f32::NAN).unwrap_err(),
+            CoreError::InvalidWeight { .. }
+        ));
+    }
+
+    #[test]
+    fn induced_subgraph_drops_cross_edges() {
+        let g = diamond();
+        // Take {0, 2, 3}: edges 0-2 (0.5), 2-3 (0.3), 3-0 (0.4) survive; 0-1 and 1-2 drop.
+        let nodes = [NodeId::new(3), NodeId::new(0), NodeId::new(2)];
+        let sub = g.induced_subgraph(&nodes);
+        assert_eq!(sub.num_nodes(), 3);
+        assert_eq!(sub.num_undirected_edges(), 3);
+        // local 0 = global 3, local 1 = global 0, local 2 = global 2.
+        assert_eq!(sub.edge_weight(NodeId::new(0), NodeId::new(1)), Some(0.4));
+        assert_eq!(sub.edge_weight(NodeId::new(1), NodeId::new(2)), Some(0.5));
+        assert_eq!(sub.edge_weight(NodeId::new(0), NodeId::new(2)), Some(0.3));
+        assert!(sub.is_symmetric());
+    }
+
+    #[test]
+    fn induced_subgraph_of_disjoint_nodes_is_edgeless() {
+        let g = diamond();
+        let sub = g.induced_subgraph(&[NodeId::new(1)]);
+        assert_eq!(sub.num_nodes(), 1);
+        assert_eq!(sub.num_directed_edges(), 0);
+    }
+
+    #[test]
+    fn empty_graph_behaves() {
+        let g = SimilarityGraph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.degree(NodeId::new(4)), 0);
+        assert_eq!(g.min_degree(), 0);
+        assert!(g.is_symmetric());
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn csr_parts_roundtrip() {
+        let g = diamond();
+        let (offsets, neighbors, weights) = g.csr_parts();
+        let rebuilt = SimilarityGraph::from_csr_parts(
+            offsets.to_vec(),
+            neighbors.to_vec(),
+            weights.to_vec(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn from_csr_parts_rejects_inconsistent_arrays() {
+        // Wrong terminal offset.
+        assert!(SimilarityGraph::from_csr_parts(vec![0, 2], vec![NodeId::new(1)], vec![0.5])
+            .is_err());
+        // Self-loop.
+        assert!(
+            SimilarityGraph::from_csr_parts(vec![0, 1], vec![NodeId::new(0)], vec![0.5]).is_err()
+        );
+        // Out-of-bounds neighbor.
+        assert!(
+            SimilarityGraph::from_csr_parts(vec![0, 1], vec![NodeId::new(9)], vec![0.5]).is_err()
+        );
+        // Negative weight.
+        assert!(SimilarityGraph::from_csr_parts(
+            vec![0, 1, 1],
+            vec![NodeId::new(1)],
+            vec![-0.5]
+        )
+        .is_err());
+        // Unsorted neighbor row.
+        assert!(SimilarityGraph::from_csr_parts(
+            vec![0, 2, 2, 2],
+            vec![NodeId::new(2), NodeId::new(1)],
+            vec![0.5, 0.5]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn edge_weight_lookup() {
+        let g = diamond();
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(2)), Some(0.5));
+        assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(3)), None);
+    }
+}

@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Identifier of a data point (a node of the similarity graph).
+///
+/// Node ids are dense indices `0..n` within a ground set of size `n`. The
+/// distributed layers of the system ship them across simulated machines, so
+/// the representation is a fixed-width `u64` as in the paper's memory
+/// estimates (§3 "Scaling challenges").
+///
+/// ```
+/// use submod_core::NodeId;
+///
+/// let v = NodeId::new(7);
+/// assert_eq!(v.index(), 7);
+/// assert_eq!(v.raw(), 7u64);
+/// assert_eq!(format!("{v}"), "7");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// Creates a node id from a raw `u64`.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        NodeId(raw)
+    }
+
+    /// Creates a node id from a dense `usize` index.
+    #[inline]
+    pub const fn from_index(index: usize) -> Self {
+        NodeId(index as u64)
+    }
+
+    /// Returns the raw `u64` value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the id as a dense `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on platforms where the id does not fit a `usize` (not possible
+    /// on 64-bit targets).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u64> for NodeId {
+    #[inline]
+    fn from(raw: u64) -> Self {
+        NodeId(raw)
+    }
+}
+
+impl From<NodeId> for u64 {
+    #[inline]
+    fn from(id: NodeId) -> Self {
+        id.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_between_raw_and_index() {
+        let id = NodeId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(NodeId::from_index(42), id);
+        assert_eq!(u64::from(id), 42);
+        assert_eq!(NodeId::from(42u64), id);
+    }
+
+    #[test]
+    fn orders_by_raw_value() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert_eq!(NodeId::default(), NodeId::new(0));
+    }
+
+    #[test]
+    fn display_is_plain_number() {
+        assert_eq!(NodeId::new(9).to_string(), "9");
+    }
+}

@@ -1,0 +1,224 @@
+use crate::NodeId;
+
+/// A fixed-capacity bitset over dense node indices.
+///
+/// Membership tests are the innermost operation of both the greedy update
+/// loop and the bounding algorithm, so the representation is a flat word
+/// array rather than a hash set.
+///
+/// ```
+/// use submod_core::{NodeId, NodeSet};
+///
+/// let mut set = NodeSet::new(10);
+/// set.insert(NodeId::new(3));
+/// set.insert(NodeId::new(7));
+/// assert!(set.contains(NodeId::new(3)));
+/// assert!(!set.contains(NodeId::new(4)));
+/// assert_eq!(set.len(), 2);
+/// assert_eq!(set.iter().collect::<Vec<_>>(), vec![NodeId::new(3), NodeId::new(7)]);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+impl NodeSet {
+    /// Creates an empty set able to hold node indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        NodeSet { words: vec![0; capacity.div_ceil(64)], capacity, len: 0 }
+    }
+
+    /// Creates a set from an iterator of members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a member index is `>= capacity`.
+    pub fn from_members<I: IntoIterator<Item = NodeId>>(capacity: usize, members: I) -> Self {
+        let mut set = NodeSet::new(capacity);
+        for id in members {
+            set.insert(id);
+        }
+        set
+    }
+
+    /// Number of indices the set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of members currently in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `id`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        let i = id.index();
+        assert!(i < self.capacity, "node {i} out of bitset capacity {}", self.capacity);
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let fresh = *word & mask == 0;
+        *word |= mask;
+        self.len += usize::from(fresh);
+        fresh
+    }
+
+    /// Removes `id`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        let i = id.index();
+        if i >= self.capacity {
+            return false;
+        }
+        let word = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let present = *word & mask != 0;
+        *word &= !mask;
+        self.len -= usize::from(present);
+        present
+    }
+
+    /// Returns `true` if `id` is a member. Out-of-capacity ids are absent.
+    #[inline]
+    pub fn contains(&self, id: NodeId) -> bool {
+        let i = id.index();
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Removes all members, keeping the capacity.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates members in increasing index order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    /// Collects members, sizing capacity to the largest member + 1.
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let members: Vec<NodeId> = iter.into_iter().collect();
+        let capacity = members.iter().map(|id| id.index() + 1).max().unwrap_or(0);
+        NodeSet::from_members(capacity, members)
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    /// Inserts members; panics if any exceeds the capacity.
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+/// Iterator over the members of a [`NodeSet`] in increasing order.
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a NodeSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(NodeId::from_index(self.word_idx * 64 + bit));
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u64]) -> Vec<NodeId> {
+        raw.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut set = NodeSet::new(130);
+        assert!(set.insert(NodeId::new(0)));
+        assert!(set.insert(NodeId::new(64)));
+        assert!(set.insert(NodeId::new(129)));
+        assert!(!set.insert(NodeId::new(64)));
+        assert_eq!(set.len(), 3);
+        assert!(set.contains(NodeId::new(129)));
+        assert!(set.remove(NodeId::new(64)));
+        assert!(!set.remove(NodeId::new(64)));
+        assert_eq!(set.len(), 2);
+        assert!(!set.contains(NodeId::new(64)));
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let set = NodeSet::from_members(200, ids(&[150, 3, 64, 65, 0]));
+        let collected: Vec<u64> = set.iter().map(NodeId::raw).collect();
+        assert_eq!(collected, vec![0, 3, 64, 65, 150]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut set = NodeSet::from_members(10, ids(&[1, 2, 3]));
+        set.clear();
+        assert!(set.is_empty());
+        assert_eq!(set.iter().count(), 0);
+        assert_eq!(set.capacity(), 10);
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let set: NodeSet = ids(&[5, 9]).into_iter().collect();
+        assert_eq!(set.capacity(), 10);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn contains_out_of_capacity_is_false() {
+        let set = NodeSet::new(8);
+        assert!(!set.contains(NodeId::new(1000)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bitset capacity")]
+    fn insert_out_of_capacity_panics() {
+        let mut set = NodeSet::new(8);
+        set.insert(NodeId::new(8));
+    }
+
+    #[test]
+    fn empty_set_iterates_nothing() {
+        let set = NodeSet::new(0);
+        assert_eq!(set.iter().count(), 0);
+    }
+}

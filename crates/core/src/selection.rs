@@ -1,0 +1,164 @@
+use crate::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// The result of a subset-selection run.
+///
+/// Stores the selected points in selection order, the marginal gain realized
+/// at each step, and the final objective value. Selection order matters: for
+/// the greedy algorithms the prefix of length `j` is itself the greedy
+/// solution of budget `j`.
+///
+/// ```
+/// use submod_core::{NodeId, Selection};
+///
+/// let sel = Selection::new(vec![NodeId::new(2), NodeId::new(0)], vec![1.5, 0.5], 2.0);
+/// assert_eq!(sel.len(), 2);
+/// assert_eq!(sel.objective_value(), 2.0);
+/// assert_eq!(sel.selected()[0], NodeId::new(2));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Selection {
+    selected: Vec<NodeId>,
+    gains: Vec<f64>,
+    objective_value: f64,
+}
+
+impl Selection {
+    /// Creates a selection from its parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains` is non-empty and differs in length from `selected`.
+    pub fn new(selected: Vec<NodeId>, gains: Vec<f64>, objective_value: f64) -> Self {
+        assert!(
+            gains.is_empty() || gains.len() == selected.len(),
+            "per-step gains must align with selected points"
+        );
+        Selection { selected, gains, objective_value }
+    }
+
+    /// An empty selection with objective value 0.
+    pub fn empty() -> Self {
+        Selection { selected: Vec::new(), gains: Vec::new(), objective_value: 0.0 }
+    }
+
+    /// Selected node ids in selection order.
+    #[inline]
+    pub fn selected(&self) -> &[NodeId] {
+        &self.selected
+    }
+
+    /// Marginal gain realized at each selection step (may be empty when the
+    /// producing algorithm does not track per-step gains).
+    #[inline]
+    pub fn gains(&self) -> &[f64] {
+        &self.gains
+    }
+
+    /// Final objective value `f(S)` as accounted by the producing algorithm.
+    #[inline]
+    pub fn objective_value(&self) -> f64 {
+        self.objective_value
+    }
+
+    /// Number of selected points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.selected.len()
+    }
+
+    /// Returns `true` if nothing was selected.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.selected.is_empty()
+    }
+
+    /// Consumes the selection, returning the selected ids.
+    pub fn into_selected(self) -> Vec<NodeId> {
+        self.selected
+    }
+
+    /// Uniformly subsamples the selection down to `k` points (paper §4.2 and
+    /// Algorithm 6's final step use this when a phase overshoots the budget).
+    ///
+    /// Gains are dropped because they no longer align with a greedy prefix.
+    /// If the selection already has `≤ k` points it is returned unchanged.
+    pub fn subsample(self, k: usize, seed: u64) -> Selection {
+        if self.selected.len() <= k {
+            return self;
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut ids = self.selected;
+        ids.shuffle(&mut rng);
+        ids.truncate(k);
+        Selection { selected: ids, gains: Vec::new(), objective_value: f64::NAN }
+    }
+}
+
+impl Default for Selection {
+    fn default() -> Self {
+        Selection::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(raw: &[u64]) -> Vec<NodeId> {
+        raw.iter().copied().map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn accessors_return_parts() {
+        let sel = Selection::new(ids(&[5, 3]), vec![2.0, 1.0], 3.0);
+        assert_eq!(sel.selected(), &ids(&[5, 3])[..]);
+        assert_eq!(sel.gains(), &[2.0, 1.0]);
+        assert_eq!(sel.objective_value(), 3.0);
+        assert!(!sel.is_empty());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let sel = Selection::empty();
+        assert!(sel.is_empty());
+        assert_eq!(sel.len(), 0);
+        assert_eq!(sel.objective_value(), 0.0);
+        assert_eq!(Selection::default(), sel);
+    }
+
+    #[test]
+    fn subsample_reduces_to_k() {
+        let sel = Selection::new(ids(&[0, 1, 2, 3, 4, 5]), vec![], 10.0);
+        let sub = sel.subsample(3, 7);
+        assert_eq!(sub.len(), 3);
+        // Members must come from the original selection, without duplicates.
+        let mut raw: Vec<u64> = sub.selected().iter().map(|n| n.raw()).collect();
+        raw.sort_unstable();
+        raw.dedup();
+        assert_eq!(raw.len(), 3);
+        assert!(raw.iter().all(|&r| r < 6));
+    }
+
+    #[test]
+    fn subsample_is_deterministic_per_seed() {
+        let sel = Selection::new(ids(&[0, 1, 2, 3, 4, 5, 6, 7]), vec![], 0.0);
+        let a = sel.clone().subsample(4, 42);
+        let b = sel.subsample(4, 42);
+        assert_eq!(a.selected(), b.selected());
+    }
+
+    #[test]
+    fn subsample_noop_when_small_enough() {
+        let sel = Selection::new(ids(&[1, 2]), vec![1.0, 0.5], 1.5);
+        let same = sel.clone().subsample(5, 0);
+        assert_eq!(same, sel);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn mismatched_gains_panic() {
+        let _ = Selection::new(ids(&[1]), vec![1.0, 2.0], 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+use std::error::Error;
+use std::fmt;
+use std::io;
+use std::sync::Arc;
+
+/// Errors produced by the dataflow engine.
+///
+/// The engine spills shards to disk when a worker exceeds its memory
+/// budget, so most operations can fail with I/O errors; codec errors
+/// indicate a corrupted or truncated spill file.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum DataflowError {
+    /// An I/O error while spilling or reading a shard.
+    Io {
+        /// What the engine was doing when the error occurred.
+        context: &'static str,
+        /// The underlying I/O error (shared so the error stays `Clone`).
+        source: Arc<io::Error>,
+    },
+    /// A record could not be decoded from a spill or shuffle buffer.
+    Codec {
+        /// Description of the malformed input.
+        detail: String,
+    },
+    /// An operation was invoked with an invalid argument.
+    InvalidArgument {
+        /// Description of the violated precondition.
+        detail: String,
+    },
+}
+
+impl DataflowError {
+    pub(crate) fn io(context: &'static str, source: io::Error) -> Self {
+        DataflowError::Io { context, source: Arc::new(source) }
+    }
+
+    pub(crate) fn codec(detail: impl Into<String>) -> Self {
+        DataflowError::Codec { detail: detail.into() }
+    }
+
+    pub(crate) fn invalid(detail: impl Into<String>) -> Self {
+        DataflowError::InvalidArgument { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for DataflowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataflowError::Io { context, source } => {
+                write!(f, "i/o failure while {context}: {source}")
+            }
+            DataflowError::Codec { detail } => write!(f, "record codec failure: {detail}"),
+            DataflowError::InvalidArgument { detail } => write!(f, "invalid argument: {detail}"),
+        }
+    }
+}
+
+impl Error for DataflowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DataflowError::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let err = DataflowError::io("spilling shard", io::Error::new(io::ErrorKind::Other, "disk full"));
+        let msg = err.to_string();
+        assert!(msg.contains("spilling shard") && msg.contains("disk full"));
+    }
+
+    #[test]
+    fn codec_and_invalid_messages() {
+        assert!(DataflowError::codec("truncated").to_string().contains("truncated"));
+        assert!(DataflowError::invalid("zero workers").to_string().contains("zero workers"));
+    }
+
+    #[test]
+    fn error_is_send_sync_clone() {
+        fn assert_traits<T: Error + Send + Sync + Clone + 'static>() {}
+        assert_traits::<DataflowError>();
+    }
+
+    #[test]
+    fn io_source_is_exposed() {
+        let err = DataflowError::io("x", io::Error::new(io::ErrorKind::Other, "y"));
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,296 @@
+//! The distributed collection abstraction.
+
+use crate::codec::Record;
+use crate::pipeline::{Ctx, Shard, ShardSink};
+use crate::DataflowError;
+use rayon::prelude::*;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// An immutable, sharded, possibly disk-resident collection of records —
+/// the engine's analogue of Beam's `PCollection` (§5 of the paper:
+/// *"A PCollection represents an immutable, conceptually infinitely-sized
+/// set of elements. The set does not need to fit into DRAM."*).
+///
+/// Collections are cheap to clone (shards are shared). Transforms execute
+/// eagerly, processing shards in parallel; any worker whose output buffer
+/// would exceed the pipeline's [`crate::MemoryBudget`] spills it to disk.
+///
+/// ```
+/// use submod_dataflow::Pipeline;
+///
+/// # fn main() -> Result<(), submod_dataflow::DataflowError> {
+/// let p = Pipeline::new(2)?;
+/// let pc = p.from_vec(vec![1u64, 2, 3, 4]);
+/// let odd_squares = pc.filter(|x| x % 2 == 1)?.map(|x| x * x)?;
+/// let mut out = odd_squares.collect()?;
+/// out.sort_unstable();
+/// assert_eq!(out, vec![1, 9]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct PCollection<T: Record> {
+    ctx: Arc<Ctx>,
+    shards: Vec<Shard<T>>,
+}
+
+impl<T: Record> PCollection<T> {
+    pub(crate) fn from_parts(ctx: Arc<Ctx>, shards: Vec<Shard<T>>) -> Self {
+        PCollection { ctx, shards }
+    }
+
+    pub(crate) fn ctx(&self) -> &Arc<Ctx> {
+        &self.ctx
+    }
+
+    pub(crate) fn shards(&self) -> &[Shard<T>] {
+        &self.shards
+    }
+
+    /// Number of shards backing the collection.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total number of records (known without scanning record bodies).
+    pub fn num_records(&self) -> u64 {
+        self.shards.iter().map(|s| s.len() as u64).sum()
+    }
+
+    /// Counts records by scanning shard metadata.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible but kept fallible for interface stability with
+    /// the other actions.
+    pub fn count(&self) -> Result<u64, DataflowError> {
+        Ok(self.num_records())
+    }
+
+    /// Materializes every record into one vector.
+    ///
+    /// Intended for tests and *small* results (e.g. per-round statistics);
+    /// defeats the larger-than-memory design if called on big collections.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a spilled shard cannot be read.
+    pub fn collect(&self) -> Result<Vec<T>, DataflowError> {
+        let mut out = Vec::with_capacity(self.num_records() as usize);
+        for shard in &self.shards {
+            shard.for_each(|r| {
+                out.push(r);
+                Ok(())
+            })?;
+        }
+        Ok(out)
+    }
+
+    /// Applies `f` to every record, producing a new collection.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if reading or spilling a shard fails.
+    pub fn map<U, F>(&self, f: F) -> Result<PCollection<U>, DataflowError>
+    where
+        U: Record,
+        F: Fn(T) -> U + Send + Sync,
+    {
+        self.transform_shards(|record, sink| sink.push(f(record)))
+    }
+
+    /// Keeps the records for which `predicate` returns `true`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if reading or spilling a shard fails.
+    pub fn filter<F>(&self, predicate: F) -> Result<PCollection<T>, DataflowError>
+    where
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        self.transform_shards(|record, sink| {
+            if predicate(&record) {
+                sink.push(record)
+            } else {
+                Ok(())
+            }
+        })
+    }
+
+    /// Applies `f` to every record and flattens the results — the engine's
+    /// `ParDo`. This is how the bounding pipeline fans out neighbor lists
+    /// into `(neighbor, node, similarity)` triples (§5).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if reading or spilling a shard fails.
+    pub fn flat_map<U, I, F>(&self, f: F) -> Result<PCollection<U>, DataflowError>
+    where
+        U: Record,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Send + Sync,
+    {
+        self.transform_shards(|record, sink| {
+            for out in f(record) {
+                sink.push(out)?;
+            }
+            Ok(())
+        })
+    }
+
+    /// Concatenates two collections of the same pipeline without moving
+    /// data (§4.4: *"A union can be implemented without materializing all
+    /// data in memory"*).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the collections belong to different pipelines.
+    pub fn union(&self, other: &PCollection<T>) -> Result<PCollection<T>, DataflowError> {
+        if !Arc::ptr_eq(&self.ctx, &other.ctx) {
+            return Err(DataflowError::invalid("cannot union collections from different pipelines"));
+        }
+        let mut shards = self.shards.clone();
+        shards.extend(other.shards.iter().cloned());
+        Ok(PCollection { ctx: self.ctx.clone(), shards })
+    }
+
+    /// Re-shards the collection into one shard per worker, balancing record
+    /// counts (useful after heavy filtering).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if reading or spilling fails.
+    pub fn rebalance(&self) -> Result<PCollection<T>, DataflowError> {
+        let all = self.collect()?;
+        let shard_count = self.ctx.workers.max(1);
+        let chunk = all.len().div_ceil(shard_count).max(1);
+        let mut shards = Vec::with_capacity(shard_count);
+        let mut rest = all;
+        while !rest.is_empty() {
+            let tail = rest.split_off(chunk.min(rest.len()));
+            shards.push(Shard::InMemory(Arc::new(rest)));
+            rest = tail;
+        }
+        Ok(PCollection { ctx: self.ctx.clone(), shards })
+    }
+
+    /// Shared shard-parallel transform driver.
+    fn transform_shards<U, F>(&self, body: F) -> Result<PCollection<U>, DataflowError>
+    where
+        U: Record,
+        F: Fn(T, &mut ShardSink<'_, U>) -> Result<(), DataflowError> + Send + Sync,
+    {
+        let ctx = &self.ctx;
+        let shard_groups: Vec<Vec<Shard<U>>> = self
+            .shards
+            .par_iter()
+            .map(|shard| {
+                let mut sink = ShardSink::new(ctx);
+                let mut processed = 0u64;
+                shard.for_each(|record| {
+                    processed += 1;
+                    body(record, &mut sink)
+                })?;
+                ctx.metrics.records_processed.fetch_add(processed, Ordering::Relaxed);
+                sink.finish()
+            })
+            .collect::<Result<_, _>>()?;
+        Ok(PCollection {
+            ctx: self.ctx.clone(),
+            shards: shard_groups.into_iter().flatten().collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoryBudget, Pipeline};
+
+    fn pipeline() -> Pipeline {
+        Pipeline::new(3).unwrap()
+    }
+
+    #[test]
+    fn map_transforms_all_records() {
+        let p = pipeline();
+        let pc = p.from_vec((0u64..100).collect());
+        let mut out = pc.map(|x| x + 1).unwrap().collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, (1u64..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let p = pipeline();
+        let pc = p.from_vec((0u64..100).collect());
+        assert_eq!(pc.filter(|x| x % 10 == 0).unwrap().count().unwrap(), 10);
+    }
+
+    #[test]
+    fn flat_map_expands_and_contracts() {
+        let p = pipeline();
+        let pc = p.from_vec(vec![1u64, 2, 3]);
+        let expanded = pc.flat_map(|x| (0..x).map(move |i| (x, i)).collect::<Vec<_>>()).unwrap();
+        assert_eq!(expanded.count().unwrap(), 6);
+        let none = pc.flat_map(|_| Vec::<u64>::new()).unwrap();
+        assert_eq!(none.count().unwrap(), 0);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let p = pipeline();
+        let a = p.from_vec(vec![1u64, 2]);
+        let b = p.from_vec(vec![3u64]);
+        let u = a.union(&b).unwrap();
+        let mut out = u.collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn union_across_pipelines_is_an_error() {
+        let p1 = pipeline();
+        let p2 = pipeline();
+        let a = p1.from_vec(vec![1u64]);
+        let b = p2.from_vec(vec![2u64]);
+        assert!(a.union(&b).is_err());
+    }
+
+    #[test]
+    fn spilled_transforms_roundtrip() {
+        let p = Pipeline::builder()
+            .workers(2)
+            .memory_budget(MemoryBudget::bytes(128))
+            .build()
+            .unwrap();
+        let pc = p.from_vec((0u64..5000).collect());
+        let mapped = pc.map(|x| x * 3).unwrap();
+        assert!(p.metrics().bytes_spilled > 0, "expected spills under 128-byte budget");
+        let mut out = mapped.collect().unwrap();
+        out.sort_unstable();
+        assert_eq!(out.len(), 5000);
+        assert_eq!(out[4999], 4999 * 3);
+        // A second pass over spilled shards also works.
+        assert_eq!(mapped.filter(|x| x % 2 == 0).unwrap().count().unwrap(), 2500);
+    }
+
+    #[test]
+    fn rebalance_evens_shards() {
+        let p = pipeline();
+        let pc = p.from_shards(vec![(0u64..97).collect(), vec![], vec![97, 98]]);
+        let balanced = pc.rebalance().unwrap();
+        assert_eq!(balanced.count().unwrap(), 99);
+        assert_eq!(balanced.num_shards(), 3);
+    }
+
+    #[test]
+    fn records_processed_metric_accumulates() {
+        let p = pipeline();
+        let pc = p.from_vec((0u64..50).collect());
+        pc.map(|x| x).unwrap();
+        pc.filter(|_| true).unwrap();
+        assert_eq!(p.metrics().records_processed, 100);
+    }
+}

@@ -1,0 +1,219 @@
+//! Disk-backed shard storage.
+//!
+//! When a worker's buffer exceeds its [`crate::MemoryBudget`], the buffer is
+//! written to a *spill file*: a sequence of length-prefixed encoded records.
+//! Spill files live in a per-pipeline temporary directory that is removed
+//! when the pipeline is dropped.
+
+use crate::codec::Record;
+use crate::DataflowError;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Owns the spill directory of one pipeline and hands out unique file paths.
+#[derive(Debug)]
+pub(crate) struct SpillStore {
+    dir: PathBuf,
+    next_id: AtomicU64,
+}
+
+impl SpillStore {
+    /// Creates the spill directory (unique per store) under `base`.
+    pub fn create(base: &Path) -> Result<Self, DataflowError> {
+        let unique = format!(
+            "submod-dataflow-{}-{:x}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos())
+                .unwrap_or(0)
+        );
+        let dir = base.join(unique);
+        fs::create_dir_all(&dir).map_err(|e| DataflowError::io("creating spill directory", e))?;
+        Ok(SpillStore { dir, next_id: AtomicU64::new(0) })
+    }
+
+    /// Returns a fresh path for a new spill file.
+    pub fn fresh_path(&self) -> PathBuf {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.dir.join(format!("spill-{id}.bin"))
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        // Best-effort cleanup; leaking temp files must not panic (C-DTOR-FAIL).
+        let _ = fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// A closed spill file holding `count` encoded records.
+#[derive(Debug, Clone)]
+pub(crate) struct SpillFile {
+    pub path: PathBuf,
+    pub count: usize,
+    pub bytes: u64,
+}
+
+/// Streams records into a spill file with length-prefix framing.
+pub(crate) struct SpillWriter {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    count: usize,
+    bytes: u64,
+    scratch: Vec<u8>,
+}
+
+impl SpillWriter {
+    pub fn create(path: PathBuf) -> Result<Self, DataflowError> {
+        let file = File::create(&path).map_err(|e| DataflowError::io("creating spill file", e))?;
+        Ok(SpillWriter { writer: BufWriter::new(file), path, count: 0, bytes: 0, scratch: Vec::new() })
+    }
+
+    pub fn write<T: Record>(&mut self, record: &T) -> Result<(), DataflowError> {
+        self.scratch.clear();
+        record.encode(&mut self.scratch);
+        let len = self.scratch.len() as u32;
+        self.writer
+            .write_all(&len.to_le_bytes())
+            .and_then(|()| self.writer.write_all(&self.scratch))
+            .map_err(|e| DataflowError::io("writing spill record", e))?;
+        self.count += 1;
+        self.bytes += 4 + u64::from(len);
+        Ok(())
+    }
+
+    pub fn finish(mut self) -> Result<SpillFile, DataflowError> {
+        self.writer.flush().map_err(|e| DataflowError::io("flushing spill file", e))?;
+        Ok(SpillFile { path: self.path, count: self.count, bytes: self.bytes })
+    }
+}
+
+/// Streams records back out of a spill file.
+pub(crate) struct SpillReader<T: Record> {
+    reader: BufReader<File>,
+    remaining: usize,
+    scratch: Vec<u8>,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T: Record> SpillReader<T> {
+    pub fn open(file: &SpillFile) -> Result<Self, DataflowError> {
+        let handle = File::open(&file.path).map_err(|e| DataflowError::io("opening spill file", e))?;
+        Ok(SpillReader {
+            reader: BufReader::new(handle),
+            remaining: file.count,
+            scratch: Vec::new(),
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    /// Reads the next record, or `None` when the file is exhausted.
+    pub fn next_record(&mut self) -> Result<Option<T>, DataflowError> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        let mut len_buf = [0u8; 4];
+        self.reader
+            .read_exact(&mut len_buf)
+            .map_err(|e| DataflowError::io("reading spill record length", e))?;
+        let len = u32::from_le_bytes(len_buf) as usize;
+        self.scratch.resize(len, 0);
+        self.reader
+            .read_exact(&mut self.scratch)
+            .map_err(|e| DataflowError::io("reading spill record body", e))?;
+        let mut slice = self.scratch.as_slice();
+        let record = T::decode(&mut slice)?;
+        if !slice.is_empty() {
+            return Err(DataflowError::codec("trailing bytes in framed spill record"));
+        }
+        self.remaining -= 1;
+        Ok(Some(record))
+    }
+
+    /// Reads every remaining record into a vector.
+    pub fn read_all(mut self) -> Result<Vec<T>, DataflowError> {
+        let mut out = Vec::with_capacity(self.remaining);
+        while let Some(record) = self.next_record()? {
+            out.push(record);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SpillStore {
+        SpillStore::create(&std::env::temp_dir()).expect("create store")
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let store = store();
+        let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+        for i in 0..100u64 {
+            writer.write(&(i, i as f32 * 0.5)).unwrap();
+        }
+        let file = writer.finish().unwrap();
+        assert_eq!(file.count, 100);
+        assert!(file.bytes > 0);
+        let records: Vec<(u64, f32)> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert_eq!(records.len(), 100);
+        assert_eq!(records[7], (7, 3.5));
+    }
+
+    #[test]
+    fn streaming_read_stops_at_count() {
+        let store = store();
+        let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+        writer.write(&1u32).unwrap();
+        writer.write(&2u32).unwrap();
+        let file = writer.finish().unwrap();
+        let mut reader: SpillReader<u32> = SpillReader::open(&file).unwrap();
+        assert_eq!(reader.next_record().unwrap(), Some(1));
+        assert_eq!(reader.next_record().unwrap(), Some(2));
+        assert_eq!(reader.next_record().unwrap(), None);
+        assert_eq!(reader.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let store = store();
+        let writer = SpillWriter::create(store.fresh_path()).unwrap();
+        let file = writer.finish().unwrap();
+        assert_eq!(file.count, 0);
+        let records: Vec<u64> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn store_drop_removes_directory() {
+        let dir;
+        {
+            let store = store();
+            dir = store.fresh_path().parent().unwrap().to_path_buf();
+            let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+            writer.write(&1u8).unwrap();
+            writer.finish().unwrap();
+            assert!(dir.exists());
+        }
+        assert!(!dir.exists(), "spill dir must be cleaned up on drop");
+    }
+
+    #[test]
+    fn variable_length_records_roundtrip() {
+        let store = store();
+        let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+        let values = vec![vec![1u64; 1], vec![2u64; 50], vec![], vec![3u64; 7]];
+        for v in &values {
+            writer.write(v).unwrap();
+        }
+        let file = writer.finish().unwrap();
+        let back: Vec<Vec<u64>> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert_eq!(back, values);
+    }
+}

@@ -1,0 +1,178 @@
+//! Property-based tests for the dataflow engine: codec roundtrips and
+//! transform correctness against in-memory references, with and without
+//! memory pressure.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use submod_dataflow::{Either2, Either3, MemoryBudget, Pipeline, Record};
+
+fn roundtrip<T: Record + PartialEq + std::fmt::Debug>(value: &T) -> Result<(), TestCaseError> {
+    let mut buf = Vec::new();
+    value.encode(&mut buf);
+    let mut slice = buf.as_slice();
+    let decoded = T::decode(&mut slice).expect("decode");
+    prop_assert_eq!(&decoded, value);
+    prop_assert!(slice.is_empty(), "left {} bytes", slice.len());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn codec_roundtrips_primitives(
+        a in any::<u64>(), b in any::<i64>(), c in any::<f32>(), d in any::<bool>(),
+    ) {
+        prop_assume!(!c.is_nan());
+        roundtrip(&a)?;
+        roundtrip(&b)?;
+        roundtrip(&c)?;
+        roundtrip(&d)?;
+        roundtrip(&(a, b, c, d))?;
+    }
+
+    #[test]
+    fn codec_roundtrips_containers(
+        v in proptest::collection::vec((any::<u64>(), 0.0f32..1.0), 0..50),
+        s in "[a-zA-Z0-9 ]{0,40}",
+        o in proptest::option::of(any::<u32>()),
+    ) {
+        roundtrip(&v)?;
+        roundtrip(&s)?;
+        roundtrip(&o)?;
+        roundtrip(&(s.clone(), v.clone()))?;
+    }
+
+    #[test]
+    fn codec_roundtrips_eithers(x in any::<u64>(), y in 0.0f64..1.0) {
+        roundtrip(&Either2::<u64, f64>::Left(x))?;
+        roundtrip(&Either2::<u64, f64>::Right(y))?;
+        roundtrip(&Either3::<u64, f64, bool>::First(x))?;
+        roundtrip(&Either3::<u64, f64, bool>::Second(y))?;
+        roundtrip(&Either3::<u64, f64, bool>::Third(true))?;
+    }
+
+    /// Concatenated encodings decode back record by record — the framing
+    /// the shuffle relies on.
+    #[test]
+    fn codec_sequences_decode_in_order(records in proptest::collection::vec((any::<u64>(), any::<u32>()), 0..40)) {
+        let mut buf = Vec::new();
+        for r in &records {
+            r.encode(&mut buf);
+        }
+        let mut slice = buf.as_slice();
+        for r in &records {
+            let decoded = <(u64, u32)>::decode(&mut slice).expect("decode");
+            prop_assert_eq!(&decoded, r);
+        }
+        prop_assert!(slice.is_empty());
+    }
+
+    /// map/filter/count agree with the iterator reference for any input
+    /// and any worker count.
+    #[test]
+    fn transforms_match_iterator_reference(
+        data in proptest::collection::vec(any::<u64>(), 0..500),
+        workers in 1usize..8,
+    ) {
+        let pipeline = Pipeline::new(workers).unwrap();
+        let pc = pipeline.from_vec(data.clone());
+        let mapped: Vec<u64> = {
+            let mut v = pc.map(|x| x ^ 0xFF).unwrap().collect().unwrap();
+            v.sort_unstable();
+            v
+        };
+        let mut expected: Vec<u64> = data.iter().map(|x| x ^ 0xFF).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(mapped, expected);
+
+        let kept = pc.filter(|x| x % 3 == 0).unwrap().count().unwrap();
+        prop_assert_eq!(kept, data.iter().filter(|x| **x % 3 == 0).count() as u64);
+    }
+
+    /// group_by_key equals the HashMap reference for arbitrary data, with
+    /// and without a crushing memory budget.
+    #[test]
+    fn group_by_key_matches_reference(
+        data in proptest::collection::vec((0u64..40, any::<u32>()), 0..400),
+        workers in 1usize..6,
+        tiny_budget in any::<bool>(),
+    ) {
+        let mut builder = Pipeline::builder().workers(workers);
+        if tiny_budget {
+            builder = builder.memory_budget(MemoryBudget::bytes(512));
+        }
+        let pipeline = builder.build().unwrap();
+        let grouped = pipeline.from_vec(data.clone()).group_by_key().unwrap();
+        let ours: HashMap<u64, Vec<u32>> = grouped
+            .collect()
+            .unwrap()
+            .into_iter()
+            .map(|(k, mut v)| { v.sort_unstable(); (k, v) })
+            .collect();
+        let mut reference: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (k, v) in data {
+            reference.entry(k).or_default().push(v);
+        }
+        for v in reference.values_mut() {
+            v.sort_unstable();
+        }
+        prop_assert_eq!(ours, reference);
+    }
+
+    /// kth_largest equals the sort-based reference for every valid k.
+    #[test]
+    fn kth_largest_matches_sort(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let pipeline = Pipeline::new(3).unwrap();
+        let pc = pipeline.from_vec(values.clone());
+        let mut sorted = values;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        for k in [1usize, sorted.len() / 2 + 1, sorted.len()] {
+            let got = pc.kth_largest(k as u64).unwrap();
+            prop_assert_eq!(got, sorted[k - 1], "k = {}", k);
+        }
+    }
+
+    /// reduce_per_key(sum) equals aggregate-by-hand.
+    #[test]
+    fn reduce_per_key_sums_correctly(data in proptest::collection::vec((0u64..20, 0u64..1000), 0..300)) {
+        let pipeline = Pipeline::new(4).unwrap();
+        let reduced = pipeline.from_vec(data.clone()).reduce_per_key(|a, b| a + b).unwrap();
+        let mut ours: Vec<(u64, u64)> = reduced.collect().unwrap();
+        ours.sort_unstable();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in data {
+            *reference.entry(k).or_default() += v;
+        }
+        let mut expected: Vec<(u64, u64)> = reference.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(ours, expected);
+    }
+
+    /// co_group_2 is a full outer join: every key from either side appears
+    /// exactly once with all its values.
+    #[test]
+    fn co_group_2_is_full_outer_join(
+        left in proptest::collection::vec((0u64..15, any::<u32>()), 0..150),
+        right in proptest::collection::vec((0u64..15, any::<bool>()), 0..150),
+    ) {
+        let pipeline = Pipeline::new(3).unwrap();
+        let joined = pipeline
+            .from_vec(left.clone())
+            .co_group_2(&pipeline.from_vec(right.clone()))
+            .unwrap();
+        let out = joined.collect().unwrap();
+        let mut keys: Vec<u64> = out.iter().map(|(k, _)| *k).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        let mut expected_keys: Vec<u64> =
+            left.iter().map(|(k, _)| *k).chain(right.iter().map(|(k, _)| *k)).collect();
+        expected_keys.sort_unstable();
+        expected_keys.dedup();
+        prop_assert_eq!(keys, expected_keys);
+        for (k, (ls, rs)) in out {
+            prop_assert_eq!(ls.len(), left.iter().filter(|(lk, _)| *lk == k).count());
+            prop_assert_eq!(rs.len(), right.iter().filter(|(rk, _)| *rk == k).count());
+        }
+    }
+}

@@ -1,0 +1,256 @@
+use crate::{Embeddings, KnnError, NearestNeighbors, Neighbor};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Exact brute-force nearest-neighbor search by cosine similarity.
+///
+/// O(n·d) per query; the reference backend for recall measurements and the
+/// default for small datasets (CIFAR-100-scale) where exactness is cheap.
+///
+/// ```
+/// use submod_knn::{Embeddings, ExactKnn, NearestNeighbors};
+///
+/// # fn main() -> Result<(), submod_knn::KnnError> {
+/// let data = Embeddings::from_rows(2, &[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0]])?;
+/// let index = ExactKnn::build(data)?;
+/// let hits = index.search(&[1.0, 0.05], 2);
+/// assert_eq!(hits[0].0, 0);
+/// assert_eq!(hits[1].0, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct ExactKnn {
+    data: Arc<Embeddings>,
+}
+
+impl ExactKnn {
+    /// Builds the (trivial) index by taking ownership of the embeddings.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the embeddings are empty.
+    pub fn build(data: Embeddings) -> Result<Self, KnnError> {
+        if data.is_empty() {
+            return Err(KnnError::EmptyParameter { name: "embeddings" });
+        }
+        Ok(ExactKnn { data: Arc::new(data) })
+    }
+
+    /// The indexed embeddings.
+    pub fn embeddings(&self) -> &Embeddings {
+        &self.data
+    }
+}
+
+impl NearestNeighbors for ExactKnn {
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        top_k_by_cosine(&self.data, query, k, u32::MAX)
+    }
+
+    fn search_excluding(&self, query: &[f32], k: usize, exclude: u32) -> Vec<Neighbor> {
+        top_k_by_cosine(&self.data, query, k, exclude)
+    }
+}
+
+/// Scans every row, keeping the `k` most similar (excluding `exclude`).
+/// Deterministic: ties break toward the smaller index.
+pub(crate) fn top_k_by_cosine(
+    data: &Embeddings,
+    query: &[f32],
+    k: usize,
+    exclude: u32,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let qn = crate::distance::norm(query);
+    let mut heap = TopK::new(k);
+    for (i, row) in data.iter() {
+        if i as u32 == exclude {
+            continue;
+        }
+        let denom = data.row_norm(i) * qn;
+        let sim = if denom <= f32::MIN_POSITIVE {
+            0.0
+        } else {
+            crate::distance::dot(row, query) / denom
+        };
+        heap.offer(i as u32, sim);
+    }
+    heap.into_sorted()
+}
+
+/// Ranks an explicit candidate list by cosine similarity to `query`,
+/// keeping the top `k`. Shared by the IVF and LSH backends.
+pub(crate) fn rank_candidates(
+    data: &Embeddings,
+    query: &[f32],
+    candidates: impl IntoIterator<Item = u32>,
+    k: usize,
+    exclude: u32,
+) -> Vec<Neighbor> {
+    if k == 0 {
+        return Vec::new();
+    }
+    let qn = crate::distance::norm(query);
+    let mut heap = TopK::new(k);
+    for c in candidates {
+        if c == exclude {
+            continue;
+        }
+        let i = c as usize;
+        let denom = data.row_norm(i) * qn;
+        let sim = if denom <= f32::MIN_POSITIVE {
+            0.0
+        } else {
+            crate::distance::dot(data.row(i), query) / denom
+        };
+        heap.offer(c, sim);
+    }
+    heap.into_sorted()
+}
+
+/// A fixed-capacity top-k tracker (min-heap by similarity, tie-break by
+/// larger index so smaller indices win overall).
+struct TopK {
+    k: usize,
+    // (similarity, id): the *worst* kept entry sits at heap[0].
+    heap: Vec<(f32, u32)>,
+}
+
+impl TopK {
+    fn new(k: usize) -> Self {
+        TopK { k, heap: Vec::with_capacity(k + 1) }
+    }
+
+    /// `true` if `a` is worse than `b` (lower sim, or equal sim with larger id).
+    fn worse(a: (f32, u32), b: (f32, u32)) -> bool {
+        match a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a.1 > b.1,
+        }
+    }
+
+    fn offer(&mut self, id: u32, sim: f32) {
+        if self.heap.len() < self.k {
+            self.heap.push((sim, id));
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if Self::worse(self.heap[i], self.heap[parent]) {
+                    self.heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if Self::worse(self.heap[0], (sim, id)) {
+            self.heap[0] = (sim, id);
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut worst = i;
+                if l < self.heap.len() && Self::worse(self.heap[l], self.heap[worst]) {
+                    worst = l;
+                }
+                if r < self.heap.len() && Self::worse(self.heap[r], self.heap[worst]) {
+                    worst = r;
+                }
+                if worst == i {
+                    break;
+                }
+                self.heap.swap(i, worst);
+                i = worst;
+            }
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Neighbor> {
+        let mut entries = self.heap;
+        entries.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+        });
+        entries.into_iter().map(|(sim, id)| (id, sim)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data(n: usize) -> Embeddings {
+        // Points on the unit circle at increasing angles: neighbors in
+        // index order.
+        let rows: Vec<Vec<f32>> = (0..n)
+            .map(|i| {
+                let theta = i as f32 * 0.1;
+                vec![theta.cos(), theta.sin()]
+            })
+            .collect();
+        let refs: Vec<&[f32]> = rows.iter().map(Vec::as_slice).collect();
+        Embeddings::from_rows(2, &refs).unwrap()
+    }
+
+    #[test]
+    fn search_finds_angular_neighbors() {
+        let data = line_data(20);
+        let index = ExactKnn::build(data).unwrap();
+        let hits = index.search_excluding(index.embeddings().row(10).to_vec().as_slice(), 2, 10);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        assert!(ids.contains(&9) && ids.contains(&11), "got {ids:?}");
+    }
+
+    #[test]
+    fn results_are_sorted_descending() {
+        let data = line_data(30);
+        let index = ExactKnn::build(data).unwrap();
+        let hits = index.search(&[1.0, 0.0], 10);
+        for pair in hits.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_returns_everything() {
+        let data = line_data(5);
+        let index = ExactKnn::build(data).unwrap();
+        assert_eq!(index.search(&[1.0, 0.0], 50).len(), 5);
+        assert_eq!(index.search_excluding(&[1.0, 0.0], 50, 0).len(), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let data = line_data(5);
+        let index = ExactKnn::build(data).unwrap();
+        assert!(index.search(&[1.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn empty_embeddings_rejected() {
+        let data = Embeddings::from_flat(3, vec![]).unwrap();
+        assert!(ExactKnn::build(data).is_err());
+    }
+
+    #[test]
+    fn ties_break_toward_smaller_index() {
+        // Identical points: smaller indices must win the top-k slots.
+        let data =
+            Embeddings::from_rows(2, &[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]])
+                .unwrap();
+        let index = ExactKnn::build(data).unwrap();
+        let hits = index.search(&[1.0, 0.0], 2);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn rank_candidates_filters_and_ranks() {
+        let data = line_data(10);
+        let hits = rank_candidates(&data, data.row(0).to_vec().as_slice(), [2u32, 5, 8], 2, 5);
+        let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![2, 8]);
+    }
+}

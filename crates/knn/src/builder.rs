@@ -1,0 +1,202 @@
+use crate::{Embeddings, ExactKnn, IvfIndex, KnnError, LshIndex, NearestNeighbors};
+use rayon::prelude::*;
+use submod_core::{GraphBuilder, SimilarityGraph};
+
+/// Which search backend builds the k-NN graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KnnBackend {
+    /// Exact brute force — O(n²·d) build, the reference.
+    Exact,
+    /// Inverted-file index (k-means coarse quantizer + probing).
+    Ivf {
+        /// Number of k-means cells (0 = `√n` default).
+        nlist: usize,
+        /// Cells probed per query.
+        nprobe: usize,
+    },
+    /// Random-hyperplane LSH.
+    Lsh {
+        /// Number of hash tables.
+        tables: usize,
+        /// Signature bits per table.
+        bits: usize,
+    },
+}
+
+impl KnnBackend {
+    /// The default approximate backend for a dataset of size `n`: exact
+    /// below 20 k points, IVF above.
+    pub fn auto(n: usize) -> Self {
+        if n <= 20_000 {
+            KnnBackend::Exact
+        } else {
+            KnnBackend::Ivf { nlist: IvfIndex::default_nlist(n), nprobe: 8 }
+        }
+    }
+}
+
+/// Builds the symmetrized k-nearest-neighbor similarity graph of the paper
+/// (§6): directed top-`k` cosine neighbors per point, symmetrized so every
+/// point has *at least* `k` neighbors, with edge weights `max(cos, 0)`.
+///
+/// Cosine similarities are clamped to non-negative values because the
+/// pairwise objective requires `s(v, w) ≥ 0` for submodularity (§3);
+/// non-positive-similarity edges are dropped entirely.
+///
+/// # Errors
+///
+/// Returns an error if `k == 0`, the embeddings are empty, or the backend
+/// parameters are invalid.
+///
+/// ```
+/// use submod_knn::{build_knn_graph, Embeddings, KnnBackend};
+///
+/// # fn main() -> Result<(), submod_knn::KnnError> {
+/// let data = Embeddings::from_rows(2, &[&[1.0, 0.0], &[0.9, 0.1], &[0.0, 1.0]])?;
+/// let graph = build_knn_graph(&data, 1, &KnnBackend::Exact, 0)?;
+/// assert!(graph.is_symmetric());
+/// assert!(graph.min_degree() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn build_knn_graph(
+    embeddings: &Embeddings,
+    k: usize,
+    backend: &KnnBackend,
+    seed: u64,
+) -> Result<SimilarityGraph, KnnError> {
+    if k == 0 {
+        return Err(KnnError::EmptyParameter { name: "k" });
+    }
+    let n = embeddings.len();
+    if n == 0 {
+        return Err(KnnError::EmptyParameter { name: "embeddings" });
+    }
+
+    let neighbor_lists: Vec<Vec<(u32, f32)>> = match backend {
+        KnnBackend::Exact => {
+            let index = ExactKnn::build(embeddings.clone())?;
+            search_all(&index, embeddings, k)
+        }
+        KnnBackend::Ivf { nlist, nprobe } => {
+            let nlist = if *nlist == 0 { IvfIndex::default_nlist(n) } else { *nlist };
+            let index = IvfIndex::build(embeddings.clone(), nlist.min(n), *nprobe, seed)?;
+            search_all(&index, embeddings, k)
+        }
+        KnnBackend::Lsh { tables, bits } => {
+            let index = LshIndex::build(embeddings.clone(), *tables, *bits, seed)?;
+            search_all(&index, embeddings, k)
+        }
+    };
+
+    let mut builder = GraphBuilder::new(n);
+    for (v, neighbors) in neighbor_lists.into_iter().enumerate() {
+        for (w, sim) in neighbors {
+            if sim > 0.0 {
+                builder.add_directed(v as u64, u64::from(w), sim.min(1.0))?;
+            }
+        }
+    }
+    Ok(builder.build().symmetrized())
+}
+
+fn search_all<I: NearestNeighbors + Sync>(
+    index: &I,
+    embeddings: &Embeddings,
+    k: usize,
+) -> Vec<Vec<(u32, f32)>> {
+    (0..embeddings.len())
+        .into_par_iter()
+        .map(|v| index.search_excluding(embeddings.row(v), k, v as u32))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use submod_core::NodeId;
+
+    fn gaussian_mixture(n: usize, dim: usize, clusters: usize, seed: u64) -> Embeddings {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-3.0..3.0f32)).collect())
+            .collect();
+        let mut flat = Vec::new();
+        for i in 0..n {
+            let c = &centers[i % clusters];
+            for &x in c {
+                flat.push(x + rng.gen_range(-0.3..0.3));
+            }
+        }
+        Embeddings::from_flat(dim, flat).unwrap()
+    }
+
+    #[test]
+    fn exact_graph_has_min_degree_k() {
+        let data = gaussian_mixture(200, 8, 5, 1);
+        let graph = build_knn_graph(&data, 10, &KnnBackend::Exact, 0).unwrap();
+        assert_eq!(graph.num_nodes(), 200);
+        assert!(graph.is_symmetric());
+        // Symmetrization can only add edges: every node keeps ≥ k
+        // (a handful may dip below k if some similarities were ≤ 0).
+        assert!(graph.min_degree() >= 9, "min degree {}", graph.min_degree());
+        // The paper reports ~15/16 average neighbors after symmetrizing 10-NN.
+        let avg = graph.avg_degree();
+        assert!(avg >= 10.0 && avg <= 20.0, "avg degree {avg}");
+    }
+
+    #[test]
+    fn weights_are_valid_cosines() {
+        let data = gaussian_mixture(100, 4, 3, 2);
+        let graph = build_knn_graph(&data, 5, &KnnBackend::Exact, 0).unwrap();
+        let (_, _, weights) = graph.csr_parts();
+        for &w in weights {
+            assert!(w > 0.0 && w <= 1.0, "weight {w} out of (0, 1]");
+        }
+    }
+
+    #[test]
+    fn ivf_graph_close_to_exact() {
+        let data = gaussian_mixture(400, 8, 8, 3);
+        let exact = build_knn_graph(&data, 5, &KnnBackend::Exact, 0).unwrap();
+        let ivf =
+            build_knn_graph(&data, 5, &KnnBackend::Ivf { nlist: 8, nprobe: 3 }, 3).unwrap();
+        // Count directed-edge overlap.
+        let mut shared = 0usize;
+        let mut total = 0usize;
+        for v in 0..400u64 {
+            let ev: Vec<_> = exact.neighbors(NodeId::new(v)).to_vec();
+            for w in ivf.neighbors(NodeId::new(v)) {
+                total += 1;
+                shared += usize::from(ev.contains(w));
+            }
+        }
+        let overlap = shared as f64 / total as f64;
+        assert!(overlap > 0.85, "IVF edge overlap {overlap} too low");
+    }
+
+    #[test]
+    fn lsh_graph_builds_and_is_symmetric() {
+        let data = gaussian_mixture(300, 8, 6, 4);
+        let graph =
+            build_knn_graph(&data, 5, &KnnBackend::Lsh { tables: 6, bits: 8 }, 4).unwrap();
+        assert!(graph.is_symmetric());
+        assert!(graph.min_degree() >= 4);
+    }
+
+    #[test]
+    fn auto_backend_picks_by_size() {
+        assert_eq!(KnnBackend::auto(100), KnnBackend::Exact);
+        assert!(matches!(KnnBackend::auto(100_000), KnnBackend::Ivf { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_arguments() {
+        let data = gaussian_mixture(10, 4, 2, 5);
+        assert!(build_knn_graph(&data, 0, &KnnBackend::Exact, 0).is_err());
+        let empty = Embeddings::from_flat(4, vec![]).unwrap();
+        assert!(build_knn_graph(&empty, 3, &KnnBackend::Exact, 0).is_err());
+    }
+}

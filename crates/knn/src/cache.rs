@@ -1,0 +1,224 @@
+//! Binary disk cache for similarity graphs.
+//!
+//! The experiment harness sweeps hundreds of `(partitions, rounds, α)`
+//! configurations over the *same* k-NN graph; rebuilding a 50 k-point exact
+//! graph each time would dominate the run. The cache persists the CSR
+//! arrays (plus the utility vector) in a versioned little-endian format
+//! keyed by an experiment-chosen name.
+
+use crate::KnnError;
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use submod_core::{NodeId, SimilarityGraph};
+
+const MAGIC: &[u8; 8] = b"SUBMODG1";
+
+/// Returns the default cache directory (`target/graph-cache` under the
+/// workspace, or the system temp dir as fallback).
+pub fn default_cache_dir() -> PathBuf {
+    let target = Path::new("target");
+    if target.exists() {
+        target.join("graph-cache")
+    } else {
+        std::env::temp_dir().join("submod-graph-cache")
+    }
+}
+
+/// Saves a graph and its aligned utility vector under `path`.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be written or the utilities do not
+/// align with the graph.
+pub fn save_graph(
+    path: &Path,
+    graph: &SimilarityGraph,
+    utilities: &[f32],
+) -> Result<(), KnnError> {
+    if utilities.len() != graph.num_nodes() {
+        return Err(KnnError::Cache {
+            detail: format!(
+                "{} utilities for a graph of {} nodes",
+                utilities.len(),
+                graph.num_nodes()
+            ),
+        });
+    }
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|e| KnnError::io("creating cache directory", e))?;
+    }
+    let file = File::create(path).map_err(|e| KnnError::io("creating cache file", e))?;
+    let mut w = BufWriter::new(file);
+    let (offsets, neighbors, weights) = graph.csr_parts();
+
+    let write_u64 = |w: &mut BufWriter<File>, x: u64| {
+        w.write_all(&x.to_le_bytes()).map_err(|e| KnnError::io("writing cache", e))
+    };
+    w.write_all(MAGIC).map_err(|e| KnnError::io("writing cache magic", e))?;
+    write_u64(&mut w, graph.num_nodes() as u64)?;
+    write_u64(&mut w, neighbors.len() as u64)?;
+    for &o in offsets {
+        write_u64(&mut w, o as u64)?;
+    }
+    for &n in neighbors {
+        write_u64(&mut w, n.raw())?;
+    }
+    for &x in weights {
+        w.write_all(&x.to_le_bytes()).map_err(|e| KnnError::io("writing cache weights", e))?;
+    }
+    for &u in utilities {
+        w.write_all(&u.to_le_bytes()).map_err(|e| KnnError::io("writing cache utilities", e))?;
+    }
+    w.flush().map_err(|e| KnnError::io("flushing cache file", e))?;
+    Ok(())
+}
+
+/// Loads a graph and utility vector previously written by [`save_graph`].
+///
+/// # Errors
+///
+/// Returns an error if the file is missing, truncated, or fails CSR
+/// validation.
+pub fn load_graph(path: &Path) -> Result<(SimilarityGraph, Vec<f32>), KnnError> {
+    let file = File::open(path).map_err(|e| KnnError::io("opening cache file", e))?;
+    let mut r = BufReader::new(file);
+
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|e| KnnError::io("reading cache magic", e))?;
+    if &magic != MAGIC {
+        return Err(KnnError::Cache { detail: "bad magic (not a graph cache file)".into() });
+    }
+    let read_u64 = |r: &mut BufReader<File>| -> Result<u64, KnnError> {
+        let mut buf = [0u8; 8];
+        r.read_exact(&mut buf).map_err(|e| KnnError::io("reading cache", e))?;
+        Ok(u64::from_le_bytes(buf))
+    };
+    let num_nodes = read_u64(&mut r)? as usize;
+    let num_edges = read_u64(&mut r)? as usize;
+
+    let mut offsets = Vec::with_capacity(num_nodes + 1);
+    for _ in 0..=num_nodes {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    let mut neighbors = Vec::with_capacity(num_edges);
+    for _ in 0..num_edges {
+        neighbors.push(NodeId::new(read_u64(&mut r)?));
+    }
+    let mut weights = Vec::with_capacity(num_edges);
+    let mut f32_buf = [0u8; 4];
+    for _ in 0..num_edges {
+        r.read_exact(&mut f32_buf).map_err(|e| KnnError::io("reading cache weights", e))?;
+        weights.push(f32::from_le_bytes(f32_buf));
+    }
+    let mut utilities = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        r.read_exact(&mut f32_buf).map_err(|e| KnnError::io("reading cache utilities", e))?;
+        utilities.push(f32::from_le_bytes(f32_buf));
+    }
+
+    let graph = SimilarityGraph::from_csr_parts(offsets, neighbors, weights)?;
+    Ok((graph, utilities))
+}
+
+/// Loads the cache at `path` or builds and saves it with `build`.
+///
+/// # Errors
+///
+/// Propagates build and I/O errors; a corrupt cache file is rebuilt rather
+/// than failing.
+pub fn load_or_build<F>(path: &Path, build: F) -> Result<(SimilarityGraph, Vec<f32>), KnnError>
+where
+    F: FnOnce() -> Result<(SimilarityGraph, Vec<f32>), KnnError>,
+{
+    if path.exists() {
+        match load_graph(path) {
+            Ok(loaded) => return Ok(loaded),
+            Err(_) => {
+                // Corrupt or stale: fall through and rebuild.
+                let _ = fs::remove_file(path);
+            }
+        }
+    }
+    let (graph, utilities) = build()?;
+    save_graph(path, &graph, &utilities)?;
+    Ok((graph, utilities))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use submod_core::GraphBuilder;
+
+    fn sample_graph() -> (SimilarityGraph, Vec<f32>) {
+        let mut b = GraphBuilder::new(4);
+        b.add_undirected(0, 1, 0.5).unwrap();
+        b.add_undirected(2, 3, 0.25).unwrap();
+        b.add_undirected(0, 3, 0.75).unwrap();
+        (b.build(), vec![0.1, 0.2, 0.3, 0.4])
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("submod-cache-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let (graph, utilities) = sample_graph();
+        let path = temp_path("roundtrip.bin");
+        save_graph(&path, &graph, &utilities).unwrap();
+        let (loaded_graph, loaded_utilities) = load_graph(&path).unwrap();
+        assert_eq!(loaded_graph, graph);
+        assert_eq!(loaded_utilities, utilities);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mismatched_utilities_rejected() {
+        let (graph, _) = sample_graph();
+        let path = temp_path("mismatch.bin");
+        assert!(save_graph(&path, &graph, &[0.0; 2]).is_err());
+    }
+
+    #[test]
+    fn corrupt_file_is_detected() {
+        let path = temp_path("corrupt.bin");
+        fs::write(&path, b"definitely not a graph").unwrap();
+        assert!(load_graph(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_build_builds_once() {
+        let path = temp_path("build-once.bin");
+        let _ = fs::remove_file(&path);
+        let mut builds = 0;
+        let (g1, _) = load_or_build(&path, || {
+            builds += 1;
+            Ok(sample_graph())
+        })
+        .unwrap();
+        let (g2, _) = load_or_build(&path, || {
+            builds += 1;
+            Ok(sample_graph())
+        })
+        .unwrap();
+        assert_eq!(builds, 1, "second call must hit the cache");
+        assert_eq!(g1, g2);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_or_build_recovers_from_corruption() {
+        let path = temp_path("recover.bin");
+        fs::write(&path, b"garbage").unwrap();
+        let (graph, _) = load_or_build(&path, || Ok(sample_graph())).unwrap();
+        assert_eq!(graph.num_nodes(), 4);
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(load_graph(&temp_path("missing.bin")).is_err());
+    }
+}

@@ -1,0 +1,125 @@
+//! Vector distance kernels.
+//!
+//! Written as chunked scalar loops the compiler auto-vectorizes; `f32`
+//! accumulation in four lanes keeps the kernels fast without `unsafe`.
+
+/// Dot product of two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// ```
+/// assert_eq!(submod_knn::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    let mut lanes = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let off = i * 4;
+        for l in 0..4 {
+            lanes[l] += a[off + l] * b[off + l];
+        }
+    }
+    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for i in chunks * 4..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Euclidean norm of a vector.
+///
+/// ```
+/// assert_eq!(submod_knn::norm(&[3.0, 4.0]), 5.0);
+/// ```
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two equal-length vectors.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn l2_distance_squared(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance of mismatched lengths");
+    let mut lanes = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let off = i * 4;
+        for l in 0..4 {
+            let d = a[off + l] - b[off + l];
+            lanes[l] += d * d;
+        }
+    }
+    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for i in chunks * 4..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Cosine similarity in `[-1, 1]`; 0 when either vector has zero norm.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// ```
+/// let sim = submod_knn::cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]);
+/// assert!((sim - 1.0).abs() < 1e-6);
+/// ```
+#[inline]
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let denom = norm(a) * norm(b);
+    if denom <= f32::MIN_POSITIVE {
+        return 0.0;
+    }
+    (dot(a, b) / denom).clamp(-1.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_handles_remainders() {
+        // Length 7 exercises both the 4-lane body and the tail.
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
+        let b = [7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&a, &b), 84.0);
+    }
+
+    #[test]
+    fn norm_of_pythagorean_triple() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn l2_matches_expansion() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [2.0, 2.0, 2.0, 2.0, 2.0];
+        // (1)²+(0)²+(1)²+(2)²+(3)² = 15
+        assert!((l2_distance_squared(&a, &b) - 15.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cosine_extremes() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

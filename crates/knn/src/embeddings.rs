@@ -1,0 +1,193 @@
+use crate::KnnError;
+
+/// A dense row-major matrix of `n` embedding vectors of dimension `d`.
+///
+/// The paper's pipelines extract penultimate-layer features (64-d for
+/// CIFAR-100, 2048-d for ImageNet, §6); this type is their in-memory form.
+/// Row norms are precomputed once so cosine similarities cost one dot
+/// product.
+///
+/// ```
+/// use submod_knn::Embeddings;
+///
+/// # fn main() -> Result<(), submod_knn::KnnError> {
+/// let e = Embeddings::from_rows(3, &[&[1.0, 0.0, 0.0], &[0.0, 2.0, 0.0]])?;
+/// assert_eq!(e.len(), 2);
+/// assert_eq!(e.dim(), 3);
+/// assert_eq!(e.row(1), &[0.0, 2.0, 0.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Embeddings {
+    dim: usize,
+    data: Vec<f32>,
+    norms: Vec<f32>,
+}
+
+impl Embeddings {
+    /// Creates embeddings from a flat row-major buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `dim == 0`, the buffer length is not a multiple
+    /// of `dim`, or any value is non-finite.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Result<Self, KnnError> {
+        if dim == 0 {
+            return Err(KnnError::EmptyParameter { name: "dim" });
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(KnnError::DimensionMismatch { expected: dim, got: data.len() % dim });
+        }
+        for (row, chunk) in data.chunks_exact(dim).enumerate() {
+            if chunk.iter().any(|v| !v.is_finite()) {
+                return Err(KnnError::NonFiniteValue { row });
+            }
+        }
+        let norms = data.chunks_exact(dim).map(crate::distance::norm).collect();
+        Ok(Embeddings { dim, data, norms })
+    }
+
+    /// Creates embeddings from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if rows disagree in length or contain non-finite
+    /// values.
+    pub fn from_rows(dim: usize, rows: &[&[f32]]) -> Result<Self, KnnError> {
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for row in rows {
+            if row.len() != dim {
+                return Err(KnnError::DimensionMismatch { expected: dim, got: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Self::from_flat(dim, data)
+    }
+
+    /// Number of vectors.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    /// Returns `true` if the matrix has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Vector dimension `d`.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The `i`-th vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Precomputed Euclidean norm of the `i`-th vector.
+    #[inline]
+    pub fn row_norm(&self, i: usize) -> f32 {
+        self.norms[i]
+    }
+
+    /// Iterates over `(index, vector)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[f32])> + '_ {
+        self.data.chunks_exact(self.dim).enumerate()
+    }
+
+    /// The flat row-major buffer.
+    pub fn as_flat(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Cosine similarity between rows `i` and `j` (0 when either is a zero
+    /// vector).
+    pub fn cosine(&self, i: usize, j: usize) -> f32 {
+        let denom = self.norms[i] * self.norms[j];
+        if denom <= f32::MIN_POSITIVE {
+            return 0.0;
+        }
+        crate::distance::dot(self.row(i), self.row(j)) / denom
+    }
+
+    /// Cosine similarity between row `i` and an external `query` vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query.len() != dim()`.
+    pub fn cosine_to(&self, i: usize, query: &[f32]) -> f32 {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        let qn = crate::distance::norm(query);
+        let denom = self.norms[i] * qn;
+        if denom <= f32::MIN_POSITIVE {
+            return 0.0;
+        }
+        crate::distance::dot(self.row(i), query) / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_and_accessors() {
+        let e = Embeddings::from_rows(2, &[&[3.0, 4.0], &[1.0, 0.0]]).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.dim(), 2);
+        assert_eq!(e.row(0), &[3.0, 4.0]);
+        assert!((e.row_norm(0) - 5.0).abs() < 1e-6);
+        assert_eq!(e.iter().count(), 2);
+        assert_eq!(e.as_flat(), &[3.0, 4.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn cosine_between_rows() {
+        let e = Embeddings::from_rows(2, &[&[1.0, 0.0], &[0.0, 1.0], &[2.0, 0.0]]).unwrap();
+        assert!((e.cosine(0, 1)).abs() < 1e-6);
+        assert!((e.cosine(0, 2) - 1.0).abs() < 1e-6);
+        assert!((e.cosine_to(0, &[0.5, 0.5]) - (0.5f32 / (0.5f32.hypot(0.5)))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_vectors_have_zero_cosine() {
+        let e = Embeddings::from_rows(2, &[&[0.0, 0.0], &[1.0, 0.0]]).unwrap();
+        assert_eq!(e.cosine(0, 1), 0.0);
+    }
+
+    #[test]
+    fn validation_failures() {
+        assert!(matches!(
+            Embeddings::from_flat(0, vec![]),
+            Err(KnnError::EmptyParameter { .. })
+        ));
+        assert!(matches!(
+            Embeddings::from_flat(3, vec![1.0, 2.0]),
+            Err(KnnError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Embeddings::from_rows(2, &[&[1.0, 2.0], &[1.0]]),
+            Err(KnnError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            Embeddings::from_flat(1, vec![f32::NAN]),
+            Err(KnnError::NonFiniteValue { row: 0 })
+        ));
+    }
+
+    #[test]
+    fn empty_embeddings() {
+        let e = Embeddings::from_flat(4, vec![]).unwrap();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+    }
+}

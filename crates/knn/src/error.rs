@@ -1,0 +1,107 @@
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors produced while building k-NN indexes and graphs.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum KnnError {
+    /// A vector's length did not match the embedding dimension.
+    DimensionMismatch {
+        /// Expected dimension.
+        expected: usize,
+        /// Observed vector length.
+        got: usize,
+    },
+    /// A parameter that must be positive was zero (e.g. `dim`, `k`).
+    EmptyParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+    },
+    /// An embedding contained NaN or infinity.
+    NonFiniteValue {
+        /// Row of the offending value.
+        row: usize,
+    },
+    /// The graph cache file was missing, unreadable, or corrupt.
+    Cache {
+        /// Description of the failure.
+        detail: String,
+    },
+    /// Graph assembly failed in the core layer.
+    Graph(submod_core::CoreError),
+    /// An I/O failure while reading or writing a cache file.
+    Io {
+        /// What was being done.
+        context: &'static str,
+        /// Underlying error (shared to stay `Clone`).
+        source: Arc<std::io::Error>,
+    },
+}
+
+impl KnnError {
+    pub(crate) fn io(context: &'static str, source: std::io::Error) -> Self {
+        KnnError::Io { context, source: Arc::new(source) }
+    }
+}
+
+impl fmt::Display for KnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnnError::DimensionMismatch { expected, got } => {
+                write!(f, "vector of length {got} does not match dimension {expected}")
+            }
+            KnnError::EmptyParameter { name } => {
+                write!(f, "parameter `{name}` must be positive")
+            }
+            KnnError::NonFiniteValue { row } => {
+                write!(f, "embedding row {row} contains a non-finite value")
+            }
+            KnnError::Cache { detail } => write!(f, "graph cache failure: {detail}"),
+            KnnError::Graph(inner) => write!(f, "graph assembly failure: {inner}"),
+            KnnError::Io { context, source } => {
+                write!(f, "i/o failure while {context}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for KnnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            KnnError::Graph(inner) => Some(inner),
+            KnnError::Io { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<submod_core::CoreError> for KnnError {
+    fn from(err: submod_core::CoreError) -> Self {
+        KnnError::Graph(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = KnnError::DimensionMismatch { expected: 64, got: 32 };
+        assert!(err.to_string().contains("64") && err.to_string().contains("32"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let core = submod_core::CoreError::SelfLoop { node: 3 };
+        let knn: KnnError = core.into();
+        assert!(knn.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<KnnError>();
+    }
+}

@@ -1,0 +1,177 @@
+use crate::kmeans::{kmeans, KMeansModel};
+use crate::{Embeddings, KnnError, NearestNeighbors, Neighbor};
+use std::sync::Arc;
+
+/// An inverted-file (IVF) approximate nearest-neighbor index.
+///
+/// Points are partitioned by a k-means coarse quantizer into `nlist`
+/// cells; a query scans only the `nprobe` nearest cells. This is the same
+/// partition-then-scan architecture the paper's similarity search
+/// (ScaNN, Guo et al. 2020) uses for its coarse stage, and it is the
+/// backend the experiments use for the ImageNet-scale graphs.
+///
+/// ```
+/// use submod_knn::{Embeddings, IvfIndex, NearestNeighbors};
+/// use rand::{Rng, SeedableRng};
+///
+/// # fn main() -> Result<(), submod_knn::KnnError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let flat: Vec<f32> = (0..512).map(|_| rng.gen_range(-1.0..1.0f32)).collect();
+/// let data = Embeddings::from_flat(2, flat)?;
+/// let index = IvfIndex::build(data, 8, 3, 9)?;
+/// assert_eq!(index.search(&[0.5, 0.5], 5).len(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct IvfIndex {
+    data: Arc<Embeddings>,
+    quantizer: KMeansModel,
+    lists: Vec<Vec<u32>>,
+    nprobe: usize,
+}
+
+impl IvfIndex {
+    /// Builds an IVF index with `nlist` cells, probing `nprobe` cells per
+    /// query.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the embeddings are empty, `nlist == 0`,
+    /// `nprobe == 0`, or there are fewer points than cells.
+    pub fn build(
+        data: Embeddings,
+        nlist: usize,
+        nprobe: usize,
+        seed: u64,
+    ) -> Result<Self, KnnError> {
+        if data.is_empty() {
+            return Err(KnnError::EmptyParameter { name: "embeddings" });
+        }
+        if nlist == 0 {
+            return Err(KnnError::EmptyParameter { name: "nlist" });
+        }
+        if nprobe == 0 {
+            return Err(KnnError::EmptyParameter { name: "nprobe" });
+        }
+        let quantizer = kmeans(&data, nlist, 25, seed)?;
+        let mut lists = vec![Vec::new(); nlist];
+        for (i, &cell) in quantizer.assignments().iter().enumerate() {
+            lists[cell as usize].push(i as u32);
+        }
+        Ok(IvfIndex { data: Arc::new(data), quantizer, lists, nprobe: nprobe.min(nlist) })
+    }
+
+    /// A sensible default cell count: `√n` clamped to `[1, 4096]`.
+    pub fn default_nlist(n: usize) -> usize {
+        ((n as f64).sqrt().round() as usize).clamp(1, 4096)
+    }
+
+    /// The indexed embeddings.
+    pub fn embeddings(&self) -> &Embeddings {
+        &self.data
+    }
+
+    /// Number of inverted lists.
+    pub fn nlist(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Cells probed per query.
+    pub fn nprobe(&self) -> usize {
+        self.nprobe
+    }
+}
+
+impl NearestNeighbors for IvfIndex {
+    fn search(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
+        self.search_excluding(query, k, u32::MAX)
+    }
+
+    fn search_excluding(&self, query: &[f32], k: usize, exclude: u32) -> Vec<Neighbor> {
+        // Probe enough cells to gather at least k candidates, starting from
+        // nprobe and widening if cells are sparse.
+        let mut probes = self.nprobe;
+        loop {
+            let cells = self.quantizer.nearest_centroids(query, probes);
+            let candidates = cells.iter().flat_map(|&c| self.lists[c as usize].iter().copied());
+            let hits = crate::brute::rank_candidates(&self.data, query, candidates, k, exclude);
+            if hits.len() >= k.min(self.data.len().saturating_sub(1)) || probes >= self.nlist() {
+                return hits;
+            }
+            probes = (probes * 2).min(self.nlist());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExactKnn;
+    use rand::{Rng, SeedableRng};
+
+    fn clustered(n_clusters: usize, per_cluster: usize, dim: usize, seed: u64) -> Embeddings {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let centers: Vec<Vec<f32>> = (0..n_clusters)
+            .map(|_| (0..dim).map(|_| rng.gen_range(-5.0..5.0f32)).collect())
+            .collect();
+        let mut flat = Vec::new();
+        for c in &centers {
+            for _ in 0..per_cluster {
+                for &x in c {
+                    flat.push(x + rng.gen_range(-0.2..0.2));
+                }
+            }
+        }
+        Embeddings::from_flat(dim, flat).unwrap()
+    }
+
+    #[test]
+    fn recall_against_exact_on_clustered_data() {
+        let data = clustered(10, 100, 8, 3);
+        let exact = ExactKnn::build(data.clone()).unwrap();
+        let ivf = IvfIndex::build(data.clone(), 10, 3, 3).unwrap();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for q in (0..data.len()).step_by(17) {
+            let truth: Vec<u32> = exact
+                .search_excluding(data.row(q), 10, q as u32)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            let approx: Vec<u32> = ivf
+                .search_excluding(data.row(q), 10, q as u32)
+                .into_iter()
+                .map(|(id, _)| id)
+                .collect();
+            total += truth.len();
+            hits += truth.iter().filter(|t| approx.contains(t)).count();
+        }
+        let recall = hits as f64 / total as f64;
+        assert!(recall > 0.9, "IVF recall {recall} too low on clustered data");
+    }
+
+    #[test]
+    fn widens_probes_when_cells_are_small() {
+        let data = clustered(5, 3, 4, 9);
+        let ivf = IvfIndex::build(data.clone(), 5, 1, 9).unwrap();
+        // k close to n forces probing beyond the first cell.
+        let hits = ivf.search(data.row(0), 12);
+        assert!(hits.len() >= 12.min(data.len() - 1) - 2);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        let data = clustered(2, 5, 4, 1);
+        assert!(IvfIndex::build(data.clone(), 0, 1, 0).is_err());
+        assert!(IvfIndex::build(data.clone(), 2, 0, 0).is_err());
+        assert!(IvfIndex::build(Embeddings::from_flat(4, vec![]).unwrap(), 2, 1, 0).is_err());
+    }
+
+    #[test]
+    fn default_nlist_scales() {
+        assert_eq!(IvfIndex::default_nlist(100), 10);
+        assert_eq!(IvfIndex::default_nlist(1), 1);
+        assert_eq!(IvfIndex::default_nlist(100_000_000), 4096);
+    }
+}

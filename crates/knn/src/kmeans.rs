@@ -1,0 +1,295 @@
+use crate::{Embeddings, KnnError};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// A fitted k-means model: centroids plus per-point assignments.
+///
+/// Serves two roles in the reproduction: the coarse quantizer of the
+/// [`crate::IvfIndex`] (ScaNN's partitioning stage) and the simulated
+/// "coarsely-trained classifier" the data crate uses to derive margin
+/// utilities (§6 trains a ResNet-56 on a 10 % subset for this).
+#[derive(Clone, Debug)]
+pub struct KMeansModel {
+    centroids: Embeddings,
+    assignments: Vec<u32>,
+    inertia: f64,
+    iterations_run: usize,
+}
+
+impl KMeansModel {
+    /// The cluster centroids (`k × d`).
+    pub fn centroids(&self) -> &Embeddings {
+        &self.centroids
+    }
+
+    /// Cluster index of each input point.
+    pub fn assignments(&self) -> &[u32] {
+        &self.assignments
+    }
+
+    /// Final within-cluster sum of squared distances.
+    pub fn inertia(&self) -> f64 {
+        self.inertia
+    }
+
+    /// Number of Lloyd iterations actually run (stops early on
+    /// convergence).
+    pub fn iterations_run(&self) -> usize {
+        self.iterations_run
+    }
+
+    /// Index of the centroid nearest to `query`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn nearest_centroid(&self, query: &[f32]) -> u32 {
+        self.nearest_centroids(query, 1)[0]
+    }
+
+    /// Indices of the `p` centroids nearest to `query`, closest first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `query` has the wrong dimension.
+    pub fn nearest_centroids(&self, query: &[f32], p: usize) -> Vec<u32> {
+        assert_eq!(query.len(), self.centroids.dim(), "query dimension mismatch");
+        let mut scored: Vec<(f32, u32)> = (0..self.centroids.len())
+            .map(|c| (crate::distance::l2_distance_squared(self.centroids.row(c), query), c as u32))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        scored.into_iter().take(p.max(1)).map(|(_, c)| c).collect()
+    }
+}
+
+/// Fits k-means with k-means++ seeding and Lloyd iterations.
+///
+/// Deterministic for a fixed `seed`. Empty clusters are re-seeded from the
+/// point farthest from its centroid.
+///
+/// # Errors
+///
+/// Returns an error if `k == 0`, `iterations == 0`, or there are fewer
+/// points than clusters.
+///
+/// ```
+/// use submod_knn::{kmeans, Embeddings};
+///
+/// # fn main() -> Result<(), submod_knn::KnnError> {
+/// let data = Embeddings::from_rows(1, &[&[0.0], &[0.1], &[10.0], &[10.1]])?;
+/// let model = kmeans(&data, 2, 10, 42)?;
+/// // The two tight pairs end up in distinct clusters.
+/// assert_ne!(model.assignments()[0], model.assignments()[2]);
+/// assert_eq!(model.assignments()[0], model.assignments()[1]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn kmeans(
+    data: &Embeddings,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> Result<KMeansModel, KnnError> {
+    if k == 0 {
+        return Err(KnnError::EmptyParameter { name: "k" });
+    }
+    if iterations == 0 {
+        return Err(KnnError::EmptyParameter { name: "iterations" });
+    }
+    let n = data.len();
+    if n < k {
+        return Err(KnnError::EmptyParameter { name: "points (need at least k)" });
+    }
+    let dim = data.dim();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+
+    // --- k-means++ seeding (on a sample for large n). ---
+    let sample: Vec<usize> = if n > 20_000 {
+        let mut ids: Vec<usize> = (0..n).collect();
+        ids.shuffle(&mut rng);
+        ids.truncate(20_000.max(k));
+        ids
+    } else {
+        (0..n).collect()
+    };
+    let mut centers: Vec<usize> = Vec::with_capacity(k);
+    centers.push(sample[rng.gen_range(0..sample.len())]);
+    let mut dist_sq: Vec<f32> = sample
+        .iter()
+        .map(|&i| crate::distance::l2_distance_squared(data.row(i), data.row(centers[0])))
+        .collect();
+    while centers.len() < k {
+        let total: f64 = dist_sq.iter().map(|&d| f64::from(d)).sum();
+        let next = if total <= f64::MIN_POSITIVE {
+            // Degenerate: all mass at the centers; pick any non-center.
+            sample[rng.gen_range(0..sample.len())]
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut chosen = sample[sample.len() - 1];
+            for (pos, &i) in sample.iter().enumerate() {
+                target -= f64::from(dist_sq[pos]);
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            chosen
+        };
+        centers.push(next);
+        for (pos, &i) in sample.iter().enumerate() {
+            let d = crate::distance::l2_distance_squared(data.row(i), data.row(next));
+            if d < dist_sq[pos] {
+                dist_sq[pos] = d;
+            }
+        }
+    }
+    let mut centroids: Vec<f32> = Vec::with_capacity(k * dim);
+    for &c in &centers {
+        centroids.extend_from_slice(data.row(c));
+    }
+
+    // --- Lloyd iterations. ---
+    let mut assignments = vec![0u32; n];
+    let mut inertia = f64::INFINITY;
+    let mut iterations_run = 0;
+    for _ in 0..iterations {
+        iterations_run += 1;
+        // Assignment step (parallel).
+        let new_assignments: Vec<(u32, f32)> = (0..n)
+            .into_par_iter()
+            .map(|i| {
+                let row = data.row(i);
+                let mut best = (0u32, f32::INFINITY);
+                for c in 0..k {
+                    let d = crate::distance::l2_distance_squared(
+                        &centroids[c * dim..(c + 1) * dim],
+                        row,
+                    );
+                    if d < best.1 {
+                        best = (c as u32, d);
+                    }
+                }
+                best
+            })
+            .collect();
+        let new_inertia: f64 = new_assignments.iter().map(|&(_, d)| f64::from(d)).sum();
+        for (i, &(c, _)) in new_assignments.iter().enumerate() {
+            assignments[i] = c;
+        }
+
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for (i, &(c, _)) in new_assignments.iter().enumerate() {
+            let row = data.row(i);
+            let base = c as usize * dim;
+            for (d, &x) in row.iter().enumerate() {
+                sums[base + d] += f64::from(x);
+            }
+            counts[c as usize] += 1;
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                // Re-seed an empty cluster with the worst-fit point.
+                let worst = new_assignments
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal)
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(worst));
+            } else {
+                for d in 0..dim {
+                    centroids[c * dim + d] = (sums[c * dim + d] / counts[c] as f64) as f32;
+                }
+            }
+        }
+
+        // Convergence: relative inertia improvement below 1e-4.
+        if new_inertia >= inertia * (1.0 - 1e-4) {
+            inertia = new_inertia.min(inertia);
+            break;
+        }
+        inertia = new_inertia;
+    }
+
+    Ok(KMeansModel {
+        centroids: Embeddings::from_flat(dim, centroids)?,
+        assignments,
+        inertia,
+        iterations_run,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(per_cluster: usize, centers: &[(f32, f32)], seed: u64) -> Embeddings {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut flat = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..per_cluster {
+                flat.push(cx + rng.gen_range(-0.1..0.1));
+                flat.push(cy + rng.gen_range(-0.1..0.1));
+            }
+        }
+        Embeddings::from_flat(2, flat).unwrap()
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let data = blobs(50, &[(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)], 1);
+        let model = kmeans(&data, 3, 50, 7).unwrap();
+        // All points of one blob share an assignment.
+        for blob in 0..3 {
+            let first = model.assignments()[blob * 50];
+            for i in 0..50 {
+                assert_eq!(model.assignments()[blob * 50 + i], first, "blob {blob}");
+            }
+        }
+        assert!(model.inertia() < 50.0 * 3.0 * 0.02 + 1.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let data = blobs(30, &[(0.0, 0.0), (5.0, 5.0)], 3);
+        let a = kmeans(&data, 2, 20, 99).unwrap();
+        let b = kmeans(&data, 2, 20, 99).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+        assert_eq!(a.centroids(), b.centroids());
+    }
+
+    #[test]
+    fn nearest_centroid_queries() {
+        let data = blobs(20, &[(0.0, 0.0), (10.0, 10.0)], 5);
+        let model = kmeans(&data, 2, 20, 1).unwrap();
+        let near_origin = model.nearest_centroid(&[0.2, -0.1]);
+        let near_far = model.nearest_centroid(&[9.8, 10.1]);
+        assert_ne!(near_origin, near_far);
+        let both = model.nearest_centroids(&[5.0, 5.0], 2);
+        assert_eq!(both.len(), 2);
+    }
+
+    #[test]
+    fn argument_validation() {
+        let data = blobs(5, &[(0.0, 0.0)], 1);
+        assert!(kmeans(&data, 0, 10, 0).is_err());
+        assert!(kmeans(&data, 3, 0, 0).is_err());
+        assert!(kmeans(&data, 100, 10, 0).is_err());
+    }
+
+    #[test]
+    fn k_equals_n_converges() {
+        let data = blobs(1, &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)], 2);
+        let model = kmeans(&data, 3, 10, 4).unwrap();
+        let mut assigned: Vec<u32> = model.assignments().to_vec();
+        assigned.sort_unstable();
+        assigned.dedup();
+        assert_eq!(assigned.len(), 3, "each point its own cluster");
+        assert!(model.inertia() < 1e-6);
+    }
+}

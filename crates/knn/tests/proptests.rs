@@ -1,0 +1,97 @@
+//! Property-based tests for the k-NN layer: exact search against a naive
+//! reference, backend sanity, and graph-construction invariants.
+
+use proptest::prelude::*;
+use submod_knn::{
+    build_knn_graph, cosine_similarity, Embeddings, ExactKnn, KnnBackend, NearestNeighbors,
+};
+
+fn arb_embeddings(max_n: usize, dim: usize) -> impl Strategy<Value = Embeddings> {
+    (2usize..=max_n)
+        .prop_flat_map(move |n| proptest::collection::vec(-1.0f32..1.0, n * dim))
+        .prop_map(move |flat| Embeddings::from_flat(dim, flat).expect("embeddings"))
+}
+
+/// Naive top-k by full sort — the reference for the heap-based search.
+fn naive_top_k(data: &Embeddings, query: &[f32], k: usize, exclude: u32) -> Vec<u32> {
+    let mut scored: Vec<(f32, u32)> = (0..data.len())
+        .filter(|&i| i as u32 != exclude)
+        .map(|i| (cosine_similarity(data.row(i), query), i as u32))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+    scored.into_iter().take(k).map(|(_, i)| i).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The heap-based exact search returns exactly the naive reference.
+    #[test]
+    fn exact_search_matches_naive(data in arb_embeddings(40, 4), k in 1usize..10) {
+        let index = ExactKnn::build(data.clone()).unwrap();
+        for q in 0..data.len().min(5) {
+            let ours: Vec<u32> = index
+                .search_excluding(data.row(q), k, q as u32)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let reference = naive_top_k(&data, data.row(q), k, q as u32);
+            prop_assert_eq!(&ours, &reference, "query {}", q);
+        }
+    }
+
+    /// Built graphs are always symmetric with valid weights, regardless of
+    /// the backend.
+    #[test]
+    fn graphs_are_symmetric_with_valid_weights(
+        data in arb_embeddings(60, 4),
+        k in 1usize..6,
+        backend_pick in 0u8..3,
+    ) {
+        let backend = match backend_pick {
+            0 => KnnBackend::Exact,
+            1 => KnnBackend::Ivf { nlist: 4, nprobe: 2 },
+            _ => KnnBackend::Lsh { tables: 4, bits: 6 },
+        };
+        prop_assume!(data.len() > k);
+        let graph = build_knn_graph(&data, k, &backend, 7).unwrap();
+        prop_assert_eq!(graph.num_nodes(), data.len());
+        prop_assert!(graph.is_symmetric());
+        let (_, _, weights) = graph.csr_parts();
+        for &w in weights {
+            prop_assert!(w > 0.0 && w <= 1.0, "weight {}", w);
+        }
+    }
+
+    /// Search results are sorted by similarity and never contain the
+    /// excluded point or duplicates.
+    #[test]
+    fn search_results_are_sorted_and_unique(data in arb_embeddings(50, 4), k in 1usize..12) {
+        let index = ExactKnn::build(data.clone()).unwrap();
+        let hits = index.search_excluding(data.row(0), k, 0);
+        for pair in hits.windows(2) {
+            prop_assert!(pair[0].1 >= pair[1].1);
+        }
+        let mut ids: Vec<u32> = hits.iter().map(|&(i, _)| i).collect();
+        prop_assert!(!ids.contains(&0));
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before);
+    }
+
+    /// Cosine similarity is symmetric, bounded, and 1 on self (non-zero).
+    #[test]
+    fn cosine_properties(
+        a in proptest::collection::vec(-10.0f32..10.0, 6),
+        b in proptest::collection::vec(-10.0f32..10.0, 6),
+    ) {
+        let ab = cosine_similarity(&a, &b);
+        let ba = cosine_similarity(&b, &a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((-1.0..=1.0).contains(&ab));
+        let norm_a: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        prop_assume!(norm_a > 0.1);
+        prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-5);
+    }
+}

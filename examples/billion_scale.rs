@@ -1,0 +1,92 @@
+//! The §6.3 scalability story: a *virtual* perturbed dataset in the
+//! billions, streamed through the dataflow engine under a strict
+//! per-worker memory budget, plus a scaled-down materialized selection.
+//!
+//! ```text
+//! cargo run --release --example billion_scale
+//! ```
+
+use std::time::Instant;
+use submod_select::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Base instance: an ImageNet-like dataset at small scale.
+    let base = build_instance(&DatasetConfig::imagenet_like().with_points_per_class(10))?;
+    println!("base dataset: {} points", base.len());
+
+    // Virtual blowup: 10_000 copies per point = the paper's factor. The
+    // dataset below *is* a 100 M-point dataset; nothing is materialized.
+    let virtual_factor = 10_000;
+    let perturbed = PerturbedDataset::new(&base, virtual_factor, 0.02, 42)?;
+    println!(
+        "virtual perturbed dataset: {} points ({}x blowup) — never materialized",
+        perturbed.total_points(),
+        virtual_factor
+    );
+
+    // Streaming pass over a slice of the virtual dataset with a strict
+    // 4 MiB per-worker budget: compute utility statistics via dataflow.
+    let pipeline = Pipeline::builder()
+        .workers(8)
+        .memory_budget(MemoryBudget::mib(4))
+        .build()?;
+    let sample: u64 = 2_000_000.min(perturbed.total_points());
+    let stride = (perturbed.total_points() / sample).max(1);
+    println!("\nstreaming {sample} virtual points (stride {stride}) through 8 workers @ 4 MiB...");
+    let t = Instant::now();
+    let p = perturbed.clone();
+    let utilities = pipeline.generate(sample, move |i| p.utility(i * stride) as f64)?;
+    let mean = utilities.sum()? / sample as f64;
+    let max = utilities.max()?.unwrap_or(0.0);
+    let metrics = pipeline.metrics();
+    println!(
+        "utility mean {mean:.4}, max {max:.4} in {:.1?}; peak worker buffer {} KiB, {} spill files",
+        t.elapsed(),
+        metrics.peak_worker_bytes / 1024,
+        metrics.spill_files
+    );
+
+    // Materialize a scaled slice (factor 5 → 5x base) and run the full
+    // selection pipeline on it.
+    let factor_limit = 5;
+    let t = Instant::now();
+    let (graph, utilities) = perturbed.materialize(factor_limit)?;
+    println!(
+        "\nmaterialized factor-{factor_limit} slice: {} points, {} edges in {:.1?}",
+        graph.num_nodes(),
+        graph.num_undirected_edges(),
+        t.elapsed()
+    );
+    let objective = PairwiseObjective::from_alpha(0.9, utilities)?;
+    let k = graph.num_nodes() / 10;
+
+    for rounds in [1usize, 2, 8] {
+        let t = Instant::now();
+        let cfg = PipelineConfig::greedy_only(
+            DistGreedyConfig::new(16, rounds)?.adaptive(true).seed(1),
+        );
+        let outcome = select_subset(&graph, &objective, k, &cfg)?;
+        println!(
+            "16 partitions, {rounds} round(s): f(S) = {:>12.2} in {:.1?}",
+            outcome.selection.objective_value(),
+            t.elapsed()
+        );
+    }
+
+    // Bounding at scale: how much of the ground set gets decided up front.
+    let t = Instant::now();
+    let outcome = bound_in_memory(
+        &graph,
+        &objective,
+        k,
+        &BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 9)?,
+    )?;
+    println!(
+        "\napproximate bounding (30 % uniform): included {:.3} %, excluded {:.1} % in {:.1?}",
+        outcome.included.len() as f64 / graph.num_nodes() as f64 * 100.0,
+        outcome.excluded_count as f64 / graph.num_nodes() as f64 * 100.0,
+        t.elapsed()
+    );
+
+    Ok(())
+}

@@ -1,0 +1,146 @@
+//! Cross-strategy integration tests: every selection strategy in the
+//! repository on one instance, with the quality ordering the paper's
+//! arguments predict.
+
+use submod_select::prelude::*;
+use submod_core::threshold_greedy_select;
+
+fn instance() -> SelectionInstance {
+    build_instance(&DatasetConfig::tiny().with_points_per_class(30).with_seed(2024))
+        .expect("instance")
+}
+
+#[test]
+fn all_strategies_produce_valid_subsets() {
+    let instance = instance();
+    let k = instance.len() / 10;
+    let objective = instance.objective(0.9).unwrap();
+    let ground: Vec<NodeId> = (0..instance.len()).map(NodeId::from_index).collect();
+
+    let central = greedy_select(&instance.graph, &objective, k).unwrap();
+    let lazy = lazy_greedy_select(&instance.graph, &objective, k).unwrap();
+    let stochastic =
+        stochastic_greedy_select(&instance.graph, &objective, k, 0.1, 3).unwrap();
+    let threshold = threshold_greedy_select(&instance.graph, &objective, k, 0.1).unwrap();
+    let gd = greedi(&instance.graph, &objective, k, 4, PartitionStyle::Random, 1).unwrap();
+    let multi = distributed_greedy(
+        &instance.graph,
+        &objective,
+        &ground,
+        k,
+        &DistGreedyConfig::new(4, 4).unwrap().seed(1),
+    )
+    .unwrap();
+
+    // Lazy greedy must match eager greedy exactly.
+    assert_eq!(lazy.selected(), central.selected());
+
+    // Every strategy returns a duplicate-free subset of the right size
+    // (threshold greedy may stop early by design).
+    for (name, sel) in [
+        ("central", central.selected()),
+        ("stochastic", stochastic.selected()),
+        ("greedi", gd.selection.selected()),
+        ("multiround", multi.selection.selected()),
+    ] {
+        assert_eq!(sel.len(), k, "{name} size");
+        let mut ids: Vec<u64> = sel.iter().map(|n| n.raw()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), k, "{name} duplicates");
+    }
+    assert!(threshold.len() <= k);
+
+    // Quality ordering: every approximation stays within 15 % of central.
+    let central_value = central.objective_value();
+    for (name, value) in [
+        ("stochastic", objective.evaluate(&instance.graph, stochastic.selected())),
+        ("threshold", objective.evaluate(&instance.graph, threshold.selected())),
+        ("greedi", gd.selection.objective_value()),
+        ("multiround", multi.selection.objective_value()),
+    ] {
+        assert!(
+            value > central_value * 0.85,
+            "{name} quality {value} too far below centralized {central_value}"
+        );
+    }
+}
+
+#[test]
+fn dataflow_greedy_matches_in_memory_quality() {
+    let instance = instance();
+    let k = instance.len() / 10;
+    let objective = instance.objective(0.9).unwrap();
+    let ground: Vec<NodeId> = (0..instance.len()).map(NodeId::from_index).collect();
+    let config = DistGreedyConfig::new(4, 3).unwrap().seed(5);
+
+    let mem = distributed_greedy(&instance.graph, &objective, &ground, k, &config).unwrap();
+    let pipeline = Pipeline::new(4).unwrap();
+    let df = submod_dist::distributed_greedy_dataflow(
+        &pipeline,
+        &instance.graph,
+        &objective,
+        &ground,
+        k,
+        &config,
+    )
+    .unwrap();
+    assert_eq!(df.selection.len(), k);
+    let ratio = df.selection.objective_value() / mem.selection.objective_value();
+    assert!((0.9..=1.1).contains(&ratio), "dataflow/in-memory quality ratio {ratio}");
+}
+
+#[test]
+fn geometric_schedule_is_competitive() {
+    let instance = instance();
+    let k = instance.len() / 10;
+    let objective = instance.objective(0.9).unwrap();
+    let ground: Vec<NodeId> = (0..instance.len()).map(NodeId::from_index).collect();
+
+    let linear = distributed_greedy(
+        &instance.graph,
+        &objective,
+        &ground,
+        k,
+        &DistGreedyConfig::new(8, 4).unwrap().seed(9),
+    )
+    .unwrap();
+    let geometric = distributed_greedy(
+        &instance.graph,
+        &objective,
+        &ground,
+        k,
+        &DistGreedyConfig::new(8, 4)
+            .unwrap()
+            .schedule(DeltaSchedule::Geometric)
+            .seed(9),
+    )
+    .unwrap();
+    assert_eq!(geometric.selection.len(), k);
+    let ratio = geometric.selection.objective_value() / linear.selection.objective_value();
+    assert!(ratio > 0.85, "geometric schedule quality ratio {ratio}");
+    // Geometric shrinks harder in round 1.
+    assert!(geometric.rounds[0].target <= linear.rounds[0].target);
+}
+
+#[test]
+fn bounding_reduces_greedy_workload() {
+    // The §6.2 systems payoff: after approximate bounding, the greedy
+    // phase processes a much smaller ground set.
+    let instance = instance();
+    let k = instance.len() / 10;
+    let objective = instance.objective(0.9).unwrap();
+    let outcome = bound_in_memory(
+        &instance.graph,
+        &objective,
+        k,
+        &BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 4).unwrap(),
+    )
+    .unwrap();
+    assert!(
+        outcome.remaining.len() < instance.len() / 2,
+        "bounding should at least halve the ground set ({} of {})",
+        outcome.remaining.len(),
+        instance.len()
+    );
+}

@@ -1,0 +1,123 @@
+//! The system's namesake claim: selection works when no worker may hold
+//! the data, and the memory-constrained dataflow results are *identical*
+//! to the unconstrained in-memory reference.
+
+use submod_select::prelude::*;
+
+fn instance() -> SelectionInstance {
+    build_instance(&DatasetConfig::tiny().with_points_per_class(25).with_seed(77))
+        .expect("instance")
+}
+
+#[test]
+fn dataflow_bounding_matches_reference_under_memory_pressure() {
+    let instance = instance();
+    let k = instance.len() / 10;
+    let objective = instance.objective(0.9).unwrap();
+    let config = BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 9).unwrap();
+
+    let reference = bound_in_memory(&instance.graph, &objective, k, &config).unwrap();
+
+    // 16 KiB per worker: every shuffle of the ~500-point instance spills.
+    let pipeline = Pipeline::builder()
+        .workers(4)
+        .memory_budget(MemoryBudget::bytes(16 * 1024))
+        .build()
+        .unwrap();
+    let constrained =
+        bound_dataflow(&pipeline, &instance.graph, &objective, k, &config).unwrap();
+
+    assert_eq!(reference, constrained, "memory pressure must not change the outcome");
+    let metrics = pipeline.metrics();
+    assert!(metrics.bytes_spilled > 0, "the budget must actually have forced spills");
+    assert!(
+        metrics.peak_worker_bytes <= 16 * 1024 + 4096,
+        "worker buffers must respect the budget (peak {} bytes)",
+        metrics.peak_worker_bytes
+    );
+}
+
+#[test]
+fn dataflow_scoring_matches_reference_under_memory_pressure() {
+    let instance = instance();
+    let k = instance.len() / 4;
+    let objective = instance.objective(0.5).unwrap();
+    let subset = greedy_select(&instance.graph, &objective, k).unwrap();
+
+    let reference = score_in_memory(&instance.graph, &objective, subset.selected());
+    let pipeline = Pipeline::builder()
+        .workers(3)
+        .memory_budget(MemoryBudget::bytes(8 * 1024))
+        .build()
+        .unwrap();
+    let scored =
+        score_dataflow(&pipeline, &instance.graph, &objective, subset.selected()).unwrap();
+    assert!(
+        (reference - scored).abs() < 1e-9 * reference.abs().max(1.0),
+        "{reference} vs {scored}"
+    );
+    assert!(pipeline.metrics().bytes_spilled > 0);
+}
+
+#[test]
+fn virtual_dataset_streams_without_materialization() {
+    let base = instance();
+    let perturbed = PerturbedDataset::new(&base, 1000, 0.02, 5).unwrap();
+    // Half a million virtual points from a 500-point base.
+    assert_eq!(perturbed.total_points(), base.len() as u64 * 1000);
+
+    let pipeline = Pipeline::builder()
+        .workers(4)
+        .memory_budget(MemoryBudget::mib(1))
+        .build()
+        .unwrap();
+    let sample = 100_000u64;
+    let p = perturbed.clone();
+    let utilities = pipeline.generate(sample, move |i| p.utility(i * 5) as f64).unwrap();
+    assert_eq!(utilities.count().unwrap(), sample);
+    let mean = utilities.sum().unwrap() / sample as f64;
+    assert!(mean.is_finite() && mean >= 0.0);
+    // The budget (1 MiB) is far below 100k × 8 bytes + overhead per worker
+    // only if generation is streamed; peak must stay bounded.
+    let metrics = pipeline.metrics();
+    assert!(
+        metrics.peak_worker_bytes <= 1024 * 1024 + 4096,
+        "peak {} exceeded the budget",
+        metrics.peak_worker_bytes
+    );
+}
+
+#[test]
+fn external_shuffle_handles_skewed_groups() {
+    // A heavily skewed key distribution under a tiny budget exercises the
+    // external sort-merge path end to end.
+    let pipeline = Pipeline::builder()
+        .workers(2)
+        .memory_budget(MemoryBudget::bytes(2048))
+        .build()
+        .unwrap();
+    let records: Vec<(u64, u64)> = (0..20_000).map(|i| (i % 7, i)).collect();
+    let grouped = pipeline.from_vec(records).group_by_key().unwrap();
+    let mut sizes: Vec<(u64, usize)> =
+        grouped.collect().unwrap().into_iter().map(|(k, v)| (k, v.len())).collect();
+    sizes.sort_unstable();
+    assert_eq!(sizes.len(), 7);
+    for &(key, size) in &sizes {
+        let expected = (0..20_000u64).filter(|i| i % 7 == key).count();
+        assert_eq!(size, expected, "group {key}");
+    }
+    assert!(pipeline.metrics().external_merges > 0, "external merge path must trigger");
+}
+
+#[test]
+fn graph_memory_estimate_tracks_the_papers_arithmetic() {
+    // §3: 5 B keys/values + 10 neighbors ≈ 880 GB. At our scale the same
+    // arithmetic should hold proportionally.
+    let instance = instance();
+    let bytes = instance.graph.memory_bytes();
+    let n = instance.graph.num_nodes();
+    let e = instance.graph.num_directed_edges();
+    // CSR: 8 bytes per offset + 8 per neighbor id + 4 per weight.
+    let expected = (n + 1) * 8 + e * 8 + e * 4;
+    assert_eq!(bytes, expected);
+}
