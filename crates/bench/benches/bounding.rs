@@ -34,13 +34,11 @@ fn bench_in_memory(c: &mut Criterion) {
     });
     for fraction in [0.3, 0.7] {
         group.bench_function(format!("uniform_{fraction}"), |b| {
-            let cfg =
-                BoundingConfig::approximate(fraction, SamplingStrategy::Uniform, 3).unwrap();
+            let cfg = BoundingConfig::approximate(fraction, SamplingStrategy::Uniform, 3).unwrap();
             b.iter(|| bound_in_memory(&graph, &objective, k, &cfg).unwrap())
         });
         group.bench_function(format!("weighted_{fraction}"), |b| {
-            let cfg =
-                BoundingConfig::approximate(fraction, SamplingStrategy::Weighted, 3).unwrap();
+            let cfg = BoundingConfig::approximate(fraction, SamplingStrategy::Weighted, 3).unwrap();
             b.iter(|| bound_in_memory(&graph, &objective, k, &cfg).unwrap())
         });
     }

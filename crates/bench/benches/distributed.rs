@@ -30,15 +30,11 @@ fn bench_partitions_and_rounds(c: &mut Criterion) {
     group.sample_size(10);
     for (partitions, rounds) in [(4usize, 1usize), (16, 1), (4, 8), (16, 8)] {
         for adaptive in [false, true] {
-            let name = format!(
-                "p{partitions}_r{rounds}{}",
-                if adaptive { "_adaptive" } else { "" }
-            );
+            let name =
+                format!("p{partitions}_r{rounds}{}", if adaptive { "_adaptive" } else { "" });
             group.bench_function(name, |b| {
-                let config = DistGreedyConfig::new(partitions, rounds)
-                    .unwrap()
-                    .adaptive(adaptive)
-                    .seed(7);
+                let config =
+                    DistGreedyConfig::new(partitions, rounds).unwrap().adaptive(adaptive).seed(7);
                 b.iter(|| distributed_greedy(&graph, &objective, &ground, k, &config).unwrap())
             });
         }
@@ -53,9 +49,7 @@ fn bench_greedi_baseline(c: &mut Criterion) {
     group.sample_size(10);
     for machines in [4usize, 16] {
         group.bench_function(format!("m{machines}"), |b| {
-            b.iter(|| {
-                greedi(&graph, &objective, k, machines, PartitionStyle::Random, 3).unwrap()
-            })
+            b.iter(|| greedi(&graph, &objective, k, machines, PartitionStyle::Random, 3).unwrap())
         });
     }
     group.finish();

@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use submod_core::{
-    greedy_select, lazy_greedy_select, naive_greedy_select, stochastic_greedy_select,
-    GraphBuilder, PairwiseObjective, SimilarityGraph,
+    greedy_select, lazy_greedy_select, naive_greedy_select, stochastic_greedy_select, GraphBuilder,
+    PairwiseObjective, SimilarityGraph,
 };
 
 fn instance(n: usize, degree: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
@@ -34,9 +34,7 @@ fn bench_variants(c: &mut Criterion) {
     group.bench_function("priority_queue", |b| {
         b.iter(|| greedy_select(&graph, &objective, k).unwrap())
     });
-    group.bench_function("lazy", |b| {
-        b.iter(|| lazy_greedy_select(&graph, &objective, k).unwrap())
-    });
+    group.bench_function("lazy", |b| b.iter(|| lazy_greedy_select(&graph, &objective, k).unwrap()));
     group.bench_function("stochastic_eps0.1", |b| {
         b.iter(|| stochastic_greedy_select(&graph, &objective, k, 0.1, 7).unwrap())
     });

@@ -19,14 +19,10 @@ fn bench_backends(c: &mut Criterion) {
         b.iter(|| build_knn_graph(&data, 10, &KnnBackend::Exact, 0).unwrap())
     });
     group.bench_function("ivf_55x4", |b| {
-        b.iter(|| {
-            build_knn_graph(&data, 10, &KnnBackend::Ivf { nlist: 55, nprobe: 4 }, 0).unwrap()
-        })
+        b.iter(|| build_knn_graph(&data, 10, &KnnBackend::Ivf { nlist: 55, nprobe: 4 }, 0).unwrap())
     });
     group.bench_function("lsh_8x10", |b| {
-        b.iter(|| {
-            build_knn_graph(&data, 10, &KnnBackend::Lsh { tables: 8, bits: 10 }, 0).unwrap()
-        })
+        b.iter(|| build_knn_graph(&data, 10, &KnnBackend::Lsh { tables: 8, bits: 10 }, 0).unwrap())
     });
     group.finish();
 }

@@ -64,7 +64,9 @@ impl BenchCtx {
 /// Deterministic per-cell seed so experiments are reproducible without
 /// cells sharing RNG streams.
 pub fn cell_seed(partitions: usize, rounds: usize, alpha: f64, k: usize) -> u64 {
-    let mut z = partitions as u64 ^ ((rounds as u64) << 16) ^ ((k as u64) << 32)
+    let mut z = partitions as u64
+        ^ ((rounds as u64) << 16)
+        ^ ((k as u64) << 32)
         ^ ((alpha * 1000.0) as u64) << 48;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z ^ (z >> 31)
@@ -114,8 +116,9 @@ pub fn run_heatmap(
         let objective = instance.objective(alpha).expect("objective");
         for &frac in subset_fractions {
             let k = ((instance.len() as f64 * frac).round() as usize).max(1);
-            let centralized =
-                greedy_select(&instance.graph, &objective, k).expect("centralized").objective_value();
+            let centralized = greedy_select(&instance.graph, &objective, k)
+                .expect("centralized")
+                .objective_value();
             let mut cells = Vec::new();
             for &partitions in axis {
                 for &rounds in axis {

@@ -21,12 +21,11 @@ pub fn baselines(ctx: &BenchCtx) {
     let mut rows = Vec::new();
     let mut csv = String::from("algorithm,machines,score_pct,merge_points,merge_kib\n");
     for &machines in &[2usize, 4, 8, 16] {
-        for (name, style) in [
-            ("GreeDi", PartitionStyle::Arbitrary),
-            ("RandGreeDi", PartitionStyle::Random),
-        ] {
-            let report = greedi(&instance.graph, &objective, k, machines, style, 11)
-                .expect("greedi");
+        for (name, style) in
+            [("GreeDi", PartitionStyle::Arbitrary), ("RandGreeDi", PartitionStyle::Random)]
+        {
+            let report =
+                greedi(&instance.graph, &objective, k, machines, style, 11).expect("greedi");
             let pct = report.selection.objective_value() / centralized * 100.0;
             rows.push(vec![
                 name.to_string(),

@@ -51,8 +51,8 @@ pub fn table2(ctx: &BenchCtx) {
                     None => BoundingConfig::exact(),
                     Some(c) => c.clone(),
                 };
-                let outcome = bound_in_memory(&instance.graph, &objective, k, &bounding)
-                    .expect("bounding");
+                let outcome =
+                    bound_in_memory(&instance.graph, &objective, k, &bounding).expect("bounding");
                 // Table 2 protocol: complete with centralized greedy
                 // (1 partition / 1 round).
                 let pipeline = PipelineConfig::with_bounding(
@@ -93,9 +93,8 @@ pub fn table2(ctx: &BenchCtx) {
     for alpha in [0.5, 0.1] {
         let objective = instance.objective(alpha).expect("objective");
         let k = instance.len() / 10;
-        let outcome =
-            bound_in_memory(&instance.graph, &objective, k, &BoundingConfig::exact())
-                .expect("bounding");
+        let outcome = bound_in_memory(&instance.graph, &objective, k, &BoundingConfig::exact())
+            .expect("bounding");
         println!(
             "α = {alpha}: exact bounding decided {} points (paper: none for α ∈ {{0.1, 0.5}})",
             outcome.included.len() + outcome.excluded_count
@@ -113,9 +112,7 @@ pub fn fig16_17(ctx: &BenchCtx) {
         println!("figures 16/17 ({dataset}): bounding + adaptive distributed greedy");
         let axis = ctx.grid_axis();
         let objective = instance.objective(0.9).expect("objective");
-        let mut csv = String::from(
-            "dataset,sampling,subset,partitions,rounds,score,normalized\n",
-        );
+        let mut csv = String::from("dataset,sampling,subset,partitions,rounds,score,normalized\n");
         for &frac in &ctx.subset_fractions() {
             let k = ((instance.len() as f64 * frac).round() as usize).max(1);
             let centralized =
@@ -126,9 +123,9 @@ pub fn fig16_17(ctx: &BenchCtx) {
             for (name, config) in bounding_variants(41) {
                 // Bounding is independent of the greedy sweep: run it once
                 // per variant and complete every grid cell from it.
-                let outcome = config.as_ref().map(|c| {
-                    bound_in_memory(&instance.graph, &objective, k, c).expect("bounding")
-                });
+                let outcome = config
+                    .as_ref()
+                    .map(|c| bound_in_memory(&instance.graph, &objective, k, c).expect("bounding"));
                 let mut values = Vec::new();
                 for &p in &axis {
                     for &r in &axis {
@@ -192,18 +189,14 @@ pub fn theory(ctx: &BenchCtx) {
     // finite γ, so report the guarantee on the offset objective.
     let delta = raw_objective.monotonicity_offset(&instance.graph) + 1e-3;
     let objective = raw_objective.with_utility_offset(delta).expect("offset objective");
-    println!(
-        "appendix A offset δ = {delta:.4} applied so that γ is finite (raw instance: γ = ∞)"
-    );
+    println!("appendix A offset δ = {delta:.4} applied so that γ is finite (raw instance: γ = ∞)");
     let k = instance.len() / 10;
     let centralized =
         greedy_select(&instance.graph, &objective, k).expect("greedy").objective_value();
     let mut rows = Vec::new();
-    let mut csv =
-        String::from("p,gamma,guaranteed_factor,success_probability,empirical_pct\n");
+    let mut csv = String::from("p,gamma,guaranteed_factor,success_probability,empirical_pct\n");
     for p in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
-        let guarantee =
-            submod_dist::theorem_4_6(&instance.graph, &objective, p).expect("theorem");
+        let guarantee = submod_dist::theorem_4_6(&instance.graph, &objective, p).expect("theorem");
         let bounding =
             BoundingConfig::approximate(p, SamplingStrategy::Uniform, 11).expect("config");
         let pipeline = PipelineConfig::with_bounding(

@@ -18,14 +18,11 @@ fn delta_for(ctx: &BenchCtx, instance: &SelectionInstance, dataset: &str) {
     println!("figures 6–11 ({dataset}): Δ-schedule γ ablation (non-adaptive)");
     let axis = ctx.grid_axis();
     // The paper evaluates 10 % and 50 % subsets for the ablation.
-    let fractions: Vec<f64> =
-        ctx.subset_fractions().into_iter().filter(|&f| f < 0.8).collect();
+    let fractions: Vec<f64> = ctx.subset_fractions().into_iter().filter(|&f| f < 0.8).collect();
     let alphas = ctx.alphas();
 
     let baseline = run_heatmap(instance, &alphas, &fractions, &axis, false, 0.75);
-    let mut csv = String::from(
-        "dataset,gamma,alpha,subset,partitions,rounds,normalized_diff\n",
-    );
+    let mut csv = String::from("dataset,gamma,alpha,subset,partitions,rounds,normalized_diff\n");
     for gamma in [1.0, 0.5, 0.25] {
         let variant = run_heatmap(instance, &alphas, &fractions, &axis, false, gamma);
         for (base_group, var_group) in baseline.iter().zip(&variant) {

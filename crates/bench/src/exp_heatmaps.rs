@@ -44,16 +44,11 @@ fn heatmap_figure(
         instance.graph.avg_degree()
     );
     let axis = ctx.grid_axis();
-    let groups = run_heatmap(
-        instance,
-        &ctx.alphas(),
-        &ctx.subset_fractions(),
-        &axis,
-        adaptive,
-        0.75,
-    );
+    let groups =
+        run_heatmap(instance, &ctx.alphas(), &ctx.subset_fractions(), &axis, adaptive, 0.75);
 
-    let mut csv = String::from("dataset,adaptive,alpha,subset,partitions,rounds,score,normalized\n");
+    let mut csv =
+        String::from("dataset,adaptive,alpha,subset,partitions,rounds,score,normalized\n");
     for group in &groups {
         let normalizer = group.normalizer();
         let mut matrix = Matrix {

@@ -26,7 +26,8 @@ pub fn ltm(ctx: &BenchCtx) {
     );
 
     let mut rows = Vec::new();
-    let mut csv = String::from("budget_kib,identical,seconds,spill_files,bytes_spilled,peak_worker_kib\n");
+    let mut csv =
+        String::from("budget_kib,identical,seconds,spill_files,bytes_spilled,peak_worker_kib\n");
     for budget_kib in [u64::MAX, 4096, 512, 64, 16] {
         let budget = if budget_kib == u64::MAX {
             MemoryBudget::unlimited()

@@ -118,8 +118,7 @@ pub fn sec63(ctx: &BenchCtx) {
         let mut last = f64::NEG_INFINITY;
         let mut monotone = true;
         for rounds in [1usize, 2, 8] {
-            let config =
-                DistGreedyConfig::new(16, rounds).expect("config").adaptive(false).seed(3);
+            let config = DistGreedyConfig::new(16, rounds).expect("config").adaptive(false).seed(3);
             let score = distributed_greedy(&graph, &objective, &ground, k, &config)
                 .expect("distributed")
                 .selection
@@ -139,7 +138,11 @@ pub fn sec63(ctx: &BenchCtx) {
             if monotone { "yes (matches §6.3)" } else { "no" }
         );
     }
-    print_table("raw scores (no centralized reference at scale)", &["subset", "rounds", "score"], &rows);
+    print_table(
+        "raw scores (no centralized reference at scale)",
+        &["subset", "rounds", "score"],
+        &rows,
+    );
 
     // Bounding at scale (10 % subset): the paper reports exact bounding
     // excluding 10 % and approximate ~60 %.

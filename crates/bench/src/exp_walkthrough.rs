@@ -24,7 +24,10 @@ pub fn fig1(_ctx: &BenchCtx) {
         rows.push(vec![
             v.to_string(),
             format!("{:.3}", objective.utility(vid)),
-            format!("{:.3}", objective.utility(vid) - objective.ratio() * graph.weighted_degree(vid)),
+            format!(
+                "{:.3}",
+                objective.utility(vid) - objective.ratio() * graph.weighted_degree(vid)
+            ),
             format!("{:.3}", objective.utility(vid)),
         ]);
     }

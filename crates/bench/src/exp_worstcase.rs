@@ -40,10 +40,8 @@ pub fn table3(ctx: &BenchCtx) {
             }
         }
     }
-    let normalizer = ScoreNormalizer::new(
-        centralized,
-        &raw.iter().map(|&(_, _, _, s)| s).collect::<Vec<_>>(),
-    );
+    let normalizer =
+        ScoreNormalizer::new(centralized, &raw.iter().map(|&(_, _, _, s)| s).collect::<Vec<_>>());
 
     let lookup = |adversarial: bool, adaptive: bool, rounds: usize| -> f64 {
         raw.iter()

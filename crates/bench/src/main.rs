@@ -100,8 +100,22 @@ fn run(experiment: &str, ctx: &BenchCtx) {
         "ltm" => exp_ltm::ltm(ctx),
         "all" => {
             for exp in [
-                "fig1", "fig2", "fig3", "fig13", "fig4", "fig15", "fig5", "delta", "table2",
-                "table3", "table4", "sec63", "fig16", "baselines", "theory", "ltm",
+                "fig1",
+                "fig2",
+                "fig3",
+                "fig13",
+                "fig4",
+                "fig15",
+                "fig5",
+                "delta",
+                "table2",
+                "table3",
+                "table4",
+                "sec63",
+                "fig16",
+                "baselines",
+                "theory",
+                "ltm",
             ] {
                 println!("\n================ {exp} ================");
                 run(exp, ctx);

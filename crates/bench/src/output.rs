@@ -36,7 +36,6 @@ impl Matrix {
             println!();
         }
     }
-
 }
 
 /// Writes an artifact file under the output directory, creating it as

@@ -110,10 +110,7 @@ impl SimilarityGraph {
 
     /// Minimum degree `k_g` over all nodes (Theorem 4.6's exponent).
     pub fn min_degree(&self) -> usize {
-        (0..self.num_nodes())
-            .map(|i| self.degree(NodeId::from_index(i)))
-            .min()
-            .unwrap_or(0)
+        (0..self.num_nodes()).map(|i| self.degree(NodeId::from_index(i))).min().unwrap_or(0)
     }
 
     /// Average degree over all nodes.
@@ -388,7 +385,10 @@ impl GraphBuilder {
 
     /// Finishes the build, consuming the accumulated edges.
     pub fn build(&mut self) -> SimilarityGraph {
-        SimilarityGraph::from_directed_edges_internal(self.num_nodes, std::mem::take(&mut self.edges))
+        SimilarityGraph::from_directed_edges_internal(
+            self.num_nodes,
+            std::mem::take(&mut self.edges),
+        )
     }
 }
 
@@ -527,20 +527,18 @@ mod tests {
     fn csr_parts_roundtrip() {
         let g = diamond();
         let (offsets, neighbors, weights) = g.csr_parts();
-        let rebuilt = SimilarityGraph::from_csr_parts(
-            offsets.to_vec(),
-            neighbors.to_vec(),
-            weights.to_vec(),
-        )
-        .unwrap();
+        let rebuilt =
+            SimilarityGraph::from_csr_parts(offsets.to_vec(), neighbors.to_vec(), weights.to_vec())
+                .unwrap();
         assert_eq!(rebuilt, g);
     }
 
     #[test]
     fn from_csr_parts_rejects_inconsistent_arrays() {
         // Wrong terminal offset.
-        assert!(SimilarityGraph::from_csr_parts(vec![0, 2], vec![NodeId::new(1)], vec![0.5])
-            .is_err());
+        assert!(
+            SimilarityGraph::from_csr_parts(vec![0, 2], vec![NodeId::new(1)], vec![0.5]).is_err()
+        );
         // Self-loop.
         assert!(
             SimilarityGraph::from_csr_parts(vec![0, 1], vec![NodeId::new(0)], vec![0.5]).is_err()
@@ -550,12 +548,8 @@ mod tests {
             SimilarityGraph::from_csr_parts(vec![0, 1], vec![NodeId::new(9)], vec![0.5]).is_err()
         );
         // Negative weight.
-        assert!(SimilarityGraph::from_csr_parts(
-            vec![0, 1, 1],
-            vec![NodeId::new(1)],
-            vec![-0.5]
-        )
-        .is_err());
+        assert!(SimilarityGraph::from_csr_parts(vec![0, 1, 1], vec![NodeId::new(1)], vec![-0.5])
+            .is_err());
         // Unsorted neighbor row.
         assert!(SimilarityGraph::from_csr_parts(
             vec![0, 2, 2, 2],

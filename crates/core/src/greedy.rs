@@ -20,7 +20,9 @@
 //! guarantees promise so (the lazy variant exactly, the queue variant
 //! exactly, stochastic in expectation), which the test-suite verifies.
 
-use crate::{AddressablePq, CoreError, NodeId, NodeSet, PairwiseObjective, Selection, SimilarityGraph};
+use crate::{
+    AddressablePq, CoreError, NodeId, NodeSet, PairwiseObjective, Selection, SimilarityGraph,
+};
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -360,8 +362,7 @@ pub fn stochastic_greedy_select(
     if k == 0 || n == 0 {
         return Ok(Selection::empty());
     }
-    let sample_size =
-        (((n as f64 / k as f64) * (1.0 / epsilon).ln()).ceil() as usize).clamp(1, n);
+    let sample_size = (((n as f64 / k as f64) * (1.0 / epsilon).ln()).ceil() as usize).clamp(1, n);
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut remaining: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
     let mut members = NodeSet::new(n);

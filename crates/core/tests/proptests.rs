@@ -8,15 +8,11 @@ use submod_core::{
 };
 
 /// An arbitrary small weighted instance: edge list + utilities.
-fn arb_instance(
-    max_nodes: usize,
-) -> impl Strategy<Value = (SimilarityGraph, PairwiseObjective)> {
+fn arb_instance(max_nodes: usize) -> impl Strategy<Value = (SimilarityGraph, PairwiseObjective)> {
     (2usize..=max_nodes)
         .prop_flat_map(|n| {
-            let edges = proptest::collection::vec(
-                (0..n as u64, 0..n as u64, 0.01f32..1.0),
-                0..n * 3,
-            );
+            let edges =
+                proptest::collection::vec((0..n as u64, 0..n as u64, 0.01f32..1.0), 0..n * 3);
             let utilities = proptest::collection::vec(0.0f32..1.0, n);
             let alpha = 0.1f64..=0.99;
             (Just(n), edges, utilities, alpha)
@@ -65,7 +61,7 @@ proptest! {
     #[test]
     fn pq_matches_sorted_model(priorities in proptest::collection::vec(-50.0f64..50.0, 1..100)) {
         let mut expected: Vec<(f64, usize)> =
-            priorities.iter().copied().zip(0..).map(|(p, i)| (p, i)).collect();
+            priorities.iter().copied().zip(0..).collect();
         // Max priority first; ties by smaller index.
         expected.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         let mut pq = AddressablePq::with_priorities(priorities);

@@ -241,9 +241,6 @@ mod tests {
         let data = dataset();
         let a = CoarseClassifier::fit(&data, 0.1, 0.05, 0.5, 11).unwrap();
         let b = CoarseClassifier::fit(&data, 0.1, 0.05, 0.5, 11).unwrap();
-        assert_eq!(
-            a.margin_utilities(data.embeddings()),
-            b.margin_utilities(data.embeddings())
-        );
+        assert_eq!(a.margin_utilities(data.embeddings()), b.margin_utilities(data.embeddings()));
     }
 }

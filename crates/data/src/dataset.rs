@@ -106,8 +106,7 @@ impl DatasetConfig {
 
     /// Scales the per-class point count by `factor` (at least 1 point).
     pub fn scaled(mut self, factor: f64) -> Self {
-        self.points_per_class =
-            ((self.points_per_class as f64 * factor).round() as usize).max(1);
+        self.points_per_class = ((self.points_per_class as f64 * factor).round() as usize).max(1);
         self
     }
 

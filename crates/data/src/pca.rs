@@ -40,8 +40,7 @@ pub fn pca_2d(embeddings: &Embeddings) -> Result<Vec<(f32, f32)>, DataError> {
 
     let component = |deflate: Option<&[f64]>, start_phase: f64| -> Vec<f64> {
         // Deterministic pseudo-random start vector.
-        let mut v: Vec<f64> =
-            (0..d).map(|j| ((j as f64 + start_phase) * 12.9898).sin()).collect();
+        let mut v: Vec<f64> = (0..d).map(|j| ((j as f64 + start_phase) * 12.9898).sin()).collect();
         normalize(&mut v);
         for _ in 0..60 {
             // w = Cov · v, computed as Σ (x−μ)((x−μ)·v) / n without forming Cov.

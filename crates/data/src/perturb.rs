@@ -39,7 +39,12 @@ impl PerturbedDataset {
     /// # Errors
     ///
     /// Returns an error if `factor == 0` or the base instance is empty.
-    pub fn new(base: &SelectionInstance, factor: u64, sigma: f32, seed: u64) -> Result<Self, DataError> {
+    pub fn new(
+        base: &SelectionInstance,
+        factor: u64,
+        sigma: f32,
+        seed: u64,
+    ) -> Result<Self, DataError> {
         if factor == 0 {
             return Err(DataError::config("perturbation factor must be at least 1"));
         }

@@ -125,11 +125,8 @@ impl PCollection<f64> {
         // non-increasing in t, and the answer is attained at an element.
         while lo < hi {
             let mid = lo + (hi - lo).div_ceil(2);
-            let ge = self.aggregate(
-                0u64,
-                |a, x| a + u64::from(ordered_bits(x) >= mid),
-                |a, b| a + b,
-            )?;
+            let ge =
+                self.aggregate(0u64, |a, x| a + u64::from(ordered_bits(x) >= mid), |a, b| a + b)?;
             if ge >= k {
                 lo = mid;
             } else {
@@ -245,11 +242,8 @@ mod tests {
 
     #[test]
     fn kth_largest_with_negatives_and_spills() {
-        let p = Pipeline::builder()
-            .workers(2)
-            .memory_budget(MemoryBudget::bytes(256))
-            .build()
-            .unwrap();
+        let p =
+            Pipeline::builder().workers(2).memory_budget(MemoryBudget::bytes(256)).build().unwrap();
         let values: Vec<f64> = (0..2000).map(|i| (i as f64) - 1000.0).collect();
         // Route through a transform so the data lands in budget-checked
         // sinks (a raw `from_vec` shard is exempt from the budget).

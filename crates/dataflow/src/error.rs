@@ -71,7 +71,7 @@ mod tests {
 
     #[test]
     fn display_includes_context() {
-        let err = DataflowError::io("spilling shard", io::Error::new(io::ErrorKind::Other, "disk full"));
+        let err = DataflowError::io("spilling shard", io::Error::other("disk full"));
         let msg = err.to_string();
         assert!(msg.contains("spilling shard") && msg.contains("disk full"));
     }
@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn io_source_is_exposed() {
-        let err = DataflowError::io("x", io::Error::new(io::ErrorKind::Other, "y"));
+        let err = DataflowError::io("x", io::Error::other("y"));
         assert!(err.source().is_some());
     }
 }

@@ -109,13 +109,15 @@ impl<T: Record> PCollection<T> {
     where
         F: Fn(&T) -> bool + Send + Sync,
     {
-        self.transform_shards(|record, sink| {
-            if predicate(&record) {
-                sink.push(record)
-            } else {
-                Ok(())
-            }
-        })
+        self.transform_shards(
+            |record, sink| {
+                if predicate(&record) {
+                    sink.push(record)
+                } else {
+                    Ok(())
+                }
+            },
+        )
     }
 
     /// Applies `f` to every record and flattens the results — the engine's
@@ -148,7 +150,9 @@ impl<T: Record> PCollection<T> {
     /// Returns an error if the collections belong to different pipelines.
     pub fn union(&self, other: &PCollection<T>) -> Result<PCollection<T>, DataflowError> {
         if !Arc::ptr_eq(&self.ctx, &other.ctx) {
-            return Err(DataflowError::invalid("cannot union collections from different pipelines"));
+            return Err(DataflowError::invalid(
+                "cannot union collections from different pipelines",
+            ));
         }
         let mut shards = self.shards.clone();
         shards.extend(other.shards.iter().cloned());
@@ -205,7 +209,6 @@ impl<T: Record> PCollection<T> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::{MemoryBudget, Pipeline};
 
     fn pipeline() -> Pipeline {
@@ -260,11 +263,8 @@ mod tests {
 
     #[test]
     fn spilled_transforms_roundtrip() {
-        let p = Pipeline::builder()
-            .workers(2)
-            .memory_budget(MemoryBudget::bytes(128))
-            .build()
-            .unwrap();
+        let p =
+            Pipeline::builder().workers(2).memory_budget(MemoryBudget::bytes(128)).build().unwrap();
         let pc = p.from_vec((0u64..5000).collect());
         let mapped = pc.map(|x| x * 3).unwrap();
         assert!(p.metrics().bytes_spilled > 0, "expected spills under 128-byte budget");

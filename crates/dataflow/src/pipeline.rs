@@ -124,7 +124,6 @@ impl Pipeline {
             .collect::<Result<_, _>>()?;
         Ok(PCollection::from_parts(self.ctx.clone(), shard_groups.into_iter().flatten().collect()))
     }
-
 }
 
 /// Builder for [`Pipeline`] (see [`Pipeline::builder`]).
@@ -162,9 +161,9 @@ impl PipelineBuilder {
     /// Returns an error if `workers == 0` or the spill directory cannot be
     /// created.
     pub fn build(self) -> Result<Pipeline, DataflowError> {
-        let workers = self.workers.unwrap_or_else(|| {
-            std::thread::available_parallelism().map(usize::from).unwrap_or(4)
-        });
+        let workers = self
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(4));
         if workers == 0 {
             return Err(DataflowError::invalid("pipeline must have at least one worker"));
         }
@@ -306,11 +305,8 @@ mod tests {
 
     #[test]
     fn generate_with_tiny_budget_spills() {
-        let p = Pipeline::builder()
-            .workers(2)
-            .memory_budget(MemoryBudget::bytes(256))
-            .build()
-            .unwrap();
+        let p =
+            Pipeline::builder().workers(2).memory_budget(MemoryBudget::bytes(256)).build().unwrap();
         let pc = p.generate(1000, |i| i).unwrap();
         assert_eq!(pc.count().unwrap(), 1000);
         let metrics = p.metrics();

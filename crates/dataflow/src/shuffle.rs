@@ -392,11 +392,8 @@ mod tests {
 
     #[test]
     fn group_by_key_external_path_matches_reference() {
-        let p = Pipeline::builder()
-            .workers(3)
-            .memory_budget(MemoryBudget::bytes(512))
-            .build()
-            .unwrap();
+        let p =
+            Pipeline::builder().workers(3).memory_budget(MemoryBudget::bytes(512)).build().unwrap();
         let records: Vec<(u64, u64)> = (0..5000).map(|i| (i % 11, i)).collect();
         let grouped = p.from_vec(records.clone()).group_by_key().unwrap();
         assert_eq!(grouped_as_map(&grouped), reference_group(&records));
@@ -483,8 +480,7 @@ mod tests {
     #[test]
     fn string_keys_group_correctly() {
         let p = Pipeline::new(2).unwrap();
-        let records =
-            vec![("a".to_string(), 1u64), ("b".to_string(), 2), ("a".to_string(), 3)];
+        let records = vec![("a".to_string(), 1u64), ("b".to_string(), 2), ("a".to_string(), 3)];
         let grouped = p.from_vec(records).group_by_key().unwrap();
         let map: HashMap<String, Vec<u64>> = grouped
             .collect()

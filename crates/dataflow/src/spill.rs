@@ -69,7 +69,13 @@ pub(crate) struct SpillWriter {
 impl SpillWriter {
     pub fn create(path: PathBuf) -> Result<Self, DataflowError> {
         let file = File::create(&path).map_err(|e| DataflowError::io("creating spill file", e))?;
-        Ok(SpillWriter { writer: BufWriter::new(file), path, count: 0, bytes: 0, scratch: Vec::new() })
+        Ok(SpillWriter {
+            writer: BufWriter::new(file),
+            path,
+            count: 0,
+            bytes: 0,
+            scratch: Vec::new(),
+        })
     }
 
     pub fn write<T: Record>(&mut self, record: &T) -> Result<(), DataflowError> {
@@ -101,7 +107,8 @@ pub(crate) struct SpillReader<T: Record> {
 
 impl<T: Record> SpillReader<T> {
     pub fn open(file: &SpillFile) -> Result<Self, DataflowError> {
-        let handle = File::open(&file.path).map_err(|e| DataflowError::io("opening spill file", e))?;
+        let handle =
+            File::open(&file.path).map_err(|e| DataflowError::io("opening spill file", e))?;
         Ok(SpillReader {
             reader: BufReader::new(handle),
             remaining: file.count,

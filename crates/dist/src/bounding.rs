@@ -1,0 +1,609 @@
+//! Distributed bounding (paper §4.1–§4.3, §5): decide as much of the
+//! target subset as possible *before* running any greedy algorithm.
+//!
+//! For the pairwise objective, two per-point bounds on the marginal
+//! utility (in priority units `u − (β/α)·Σ s`) bracket every possible
+//! completion:
+//!
+//! - `U_min(v)`: every not-yet-excluded neighbor counts against `v` — the
+//!   worst case (Def. 4.1).
+//! - `U_max(v)`: only definitely-included neighbors count — the best case
+//!   (Def. 4.2).
+//!
+//! A *grow* pass includes every point whose worst case beats the k-th
+//! largest best case (Lemma 4.3); a *shrink* pass excludes every point
+//! whose best case loses to the k-th largest worst case (Lemma 4.4).
+//! Decisions sharpen both bounds, so the passes alternate to a fixpoint.
+//!
+//! The approximate variant (§4.3, Theorem 4.6) estimates the k-th-largest
+//! thresholds from a `p`-fraction sample instead of a global sort; the
+//! sample membership is a deterministic per-node hash coin so the
+//! in-memory and dataflow drivers agree bit for bit.
+//!
+//! [`bound_dataflow`] runs the same passes on the Beam-style engine: the
+//! fanned-out neighbor graph is joined with the included / excluded
+//! status sets (the paper's three-way join, §5) and thresholds come from
+//! the engine's O(1)-memory distributed `kth_largest`. Both drivers share
+//! the decision code, so their outcomes are **identical** — the
+//! larger-than-memory suite asserts equality under crushing budgets.
+
+use crate::config::BoundingMode;
+use crate::{BoundingConfig, DistError, SamplingStrategy};
+use submod_core::{NodeId, NodeSet, PairwiseObjective, SimilarityGraph};
+use submod_dataflow::{PCollection, Pipeline};
+
+/// The result of a bounding run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BoundingOutcome {
+    /// Points proven to belong to the subset, ascending by id.
+    pub included: Vec<NodeId>,
+    /// Number of points proven to be outside the subset.
+    pub excluded_count: usize,
+    /// Undecided points (the greedy phase's ground set), ascending by id.
+    pub remaining: Vec<NodeId>,
+    /// Number of grow passes executed.
+    pub grow_rounds: usize,
+    /// Number of shrink passes executed.
+    pub shrink_rounds: usize,
+    /// Budget still open after bounding: `k − |included|`.
+    pub k_remaining: usize,
+}
+
+impl BoundingOutcome {
+    /// Returns `true` when bounding decided the entire subset.
+    pub fn is_complete(&self) -> bool {
+        self.k_remaining == 0
+    }
+
+    /// Fraction of an `n`-point ground set that was decided either way.
+    pub fn decision_fraction(&self, n: usize) -> f64 {
+        if n == 0 {
+            return 0.0;
+        }
+        (self.included.len() + self.excluded_count) as f64 / n as f64
+    }
+}
+
+/// Per-point similarity penalties produced by one pass. The three §4
+/// bounds derive from them in shared code, so the in-memory and dataflow
+/// drivers agree bit for bit:
+///
+/// - `U_min = u − (β/α)·min_penalty` (every non-excluded neighbor counts,
+///   Def. 4.1),
+/// - `U_max = u − (β/α)·max_penalty` (only included neighbors count,
+///   Def. 4.2),
+/// - `U_exp = u − (β/α)·(max_penalty + q·(min_penalty − max_penalty))`
+///   with `q = k_rem/|undecided|` — the *expected* utility under a
+///   uniform-random completion (Def. 4.5), the statistic the approximate
+///   shrink decides on.
+#[derive(Clone, Copy, Debug)]
+struct Bounds {
+    node: u64,
+    min_penalty: f64,
+    max_penalty: f64,
+}
+
+/// The derived per-point bound values for one pass.
+#[derive(Clone, Copy, Debug)]
+struct Derived {
+    node: u64,
+    umin: f64,
+    umax: f64,
+    uexp: f64,
+}
+
+/// Ratio of undecided points the approximate shrink keeps per open
+/// budget slot: exclusions cut the pool to ≈ `SAFETY_POOL_FACTOR · k`
+/// expected-best candidates, leaving the greedy phase a margin for the
+/// expectation being wrong (Theorem 4.6 prices the residual risk).
+const SAFETY_POOL_FACTOR: usize = 3;
+
+fn derive(
+    bounds: &[Bounds],
+    objective: &PairwiseObjective,
+    k_remaining: usize,
+    undecided_len: usize,
+) -> Vec<Derived> {
+    let ratio = objective.ratio();
+    let q = if undecided_len == 0 {
+        0.0
+    } else {
+        (k_remaining as f64 / undecided_len as f64).clamp(0.0, 1.0)
+    };
+    bounds
+        .iter()
+        .map(|b| {
+            let u = objective.utility(NodeId::new(b.node));
+            Derived {
+                node: b.node,
+                umin: u - ratio * b.min_penalty,
+                umax: u - ratio * b.max_penalty,
+                uexp: u - ratio * (b.max_penalty + q * (b.min_penalty - b.max_penalty)),
+            }
+        })
+        .collect()
+}
+
+/// Mutable bounding state shared by both drivers.
+struct State {
+    included: NodeSet,
+    excluded: NodeSet,
+    k: usize,
+}
+
+impl State {
+    fn k_remaining(&self) -> usize {
+        self.k - self.included.len()
+    }
+
+    fn undecided(&self, n: usize) -> Vec<NodeId> {
+        (0..n)
+            .map(NodeId::from_index)
+            .filter(|&v| !self.included.contains(v) && !self.excluded.contains(v))
+            .collect()
+    }
+}
+
+/// splitmix64 over (seed, salt, node): the deterministic sampling coin in
+/// `[0, 1)`. Order-independent, so the dataflow driver reproduces it.
+fn sample_coin(seed: u64, salt: u64, node: u64) -> f64 {
+    let mixed = crate::mix::mix_seed_node(seed ^ salt.rotate_left(17), node);
+    (mixed >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Whether `node` is in the threshold-estimation sample of this pass.
+fn in_sample(
+    mode: &BoundingMode,
+    pass: u64,
+    phase: u64,
+    node: u64,
+    utility: f64,
+    mean_utility: f64,
+) -> bool {
+    match *mode {
+        BoundingMode::Exact => true,
+        BoundingMode::Approximate { p, strategy, seed } => {
+            let probability = match strategy {
+                SamplingStrategy::Uniform => p,
+                SamplingStrategy::Weighted => {
+                    // Utility-proportional inclusion, normalized so the
+                    // expected sample size stays ≈ p·n.
+                    if mean_utility > 0.0 {
+                        (p * utility / mean_utility).clamp(0.0, 1.0)
+                    } else {
+                        p
+                    }
+                }
+            };
+            sample_coin(seed, pass << 8 | phase, node) < probability
+        }
+    }
+}
+
+/// Index (1-based) of the order statistic used as the threshold: the
+/// `k`-th largest for exact bounding, its unbiased `p`-sample analogue
+/// `⌈p·k⌉` for approximate bounding.
+fn threshold_index(mode: &BoundingMode, k_effective: usize, sample_len: usize) -> usize {
+    let index = match *mode {
+        BoundingMode::Exact => k_effective,
+        BoundingMode::Approximate { p, .. } => ((p * k_effective as f64).ceil() as usize).max(1),
+    };
+    index.min(sample_len)
+}
+
+/// The `index`-th largest value of `values` (1-based), or `None` when the
+/// sample is empty. Pure selection — both drivers feed it identical f64s.
+fn kth_largest_in_memory(values: &mut [f64], index: usize) -> Option<f64> {
+    if values.is_empty() || index == 0 {
+        return None;
+    }
+    let index = index.min(values.len());
+    values.sort_by(|a, b| b.total_cmp(a));
+    Some(values[index - 1])
+}
+
+/// Grow decision (Lemma 4.3): undecided points whose `U_min` beats the
+/// threshold, best first, capped at the open budget.
+fn decide_grow(derived: &[Derived], threshold: f64, k_remaining: usize) -> Vec<u64> {
+    let mut candidates: Vec<&Derived> = derived.iter().filter(|b| b.umin > threshold).collect();
+    candidates.sort_by(|a, b| b.umin.total_cmp(&a.umin).then(a.node.cmp(&b.node)));
+    candidates.into_iter().take(k_remaining).map(|b| b.node).collect()
+}
+
+/// Shrink decision, worst candidates first, never shrinking the pool
+/// below the open budget.
+///
+/// Exact mode is Lemma 4.4 verbatim: a point is excluded when its *best*
+/// case `U_max` loses to the k-th largest *worst* case `U_min`. The
+/// approximate mode decides on the expected utility `U_exp` (Def. 4.5)
+/// against the sampled `⌈SAFETY·k⌉`-th largest `U_exp`: expectation-level
+/// cuts are what let approximate bounding discard the bulk of a
+/// near-duplicate-heavy ground set (§6.3) where the worst-case lemma
+/// stalls, at the probabilistic price Theorem 4.6 quantifies.
+fn decide_shrink(
+    derived: &[Derived],
+    exact: bool,
+    threshold: f64,
+    max_excludable: usize,
+) -> Vec<u64> {
+    let statistic = |b: &Derived| if exact { b.umax } else { b.uexp };
+    let mut candidates: Vec<&Derived> =
+        derived.iter().filter(|b| statistic(b) < threshold).collect();
+    candidates.sort_by(|a, b| statistic(a).total_cmp(&statistic(b)).then(a.node.cmp(&b.node)));
+    candidates.into_iter().take(max_excludable).map(|b| b.node).collect()
+}
+
+fn validate(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+) -> Result<(), DistError> {
+    if objective.num_nodes() != graph.num_nodes() {
+        return Err(submod_core::CoreError::UtilityLengthMismatch {
+            utilities: objective.num_nodes(),
+            num_nodes: graph.num_nodes(),
+        }
+        .into());
+    }
+    if k > graph.num_nodes() {
+        return Err(submod_core::CoreError::BudgetTooLarge {
+            budget: k,
+            available: graph.num_nodes(),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// Runs bounding entirely in memory.
+///
+/// # Errors
+///
+/// Returns an error if the objective does not match the graph or `k`
+/// exceeds the ground set.
+pub fn bound_in_memory(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    config: &BoundingConfig,
+) -> Result<BoundingOutcome, DistError> {
+    validate(graph, objective, k)?;
+    run_bounding(graph, objective, k, config, |state, undecided| {
+        // Neighbor contributions accumulate in ascending-neighbor order —
+        // the dataflow driver sorts its join outputs the same way, so the
+        // two produce bitwise-identical sums.
+        Ok(undecided
+            .iter()
+            .map(|&v| {
+                let mut min_penalty = 0.0f64;
+                let mut max_penalty = 0.0f64;
+                for (w, s) in graph.edges(v) {
+                    if !state.excluded.contains(w) {
+                        min_penalty += f64::from(s);
+                    }
+                    if state.included.contains(w) {
+                        max_penalty += f64::from(s);
+                    }
+                }
+                Bounds { node: v.raw(), min_penalty, max_penalty }
+            })
+            .collect())
+    })
+}
+
+/// Runs bounding on the dataflow engine: neighbor fan-out, the three-way
+/// status join, and distributed threshold selection, with every worker
+/// buffer held to the pipeline's memory budget.
+///
+/// The outcome is identical to [`bound_in_memory`] by construction.
+///
+/// # Errors
+///
+/// Returns an error if the objective does not match the graph, `k`
+/// exceeds the ground set, or spill I/O fails.
+pub fn bound_dataflow(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    config: &BoundingConfig,
+) -> Result<BoundingOutcome, DistError> {
+    validate(graph, objective, k)?;
+    run_bounding(graph, objective, k, config, |state, undecided| {
+        bounds_via_pipeline(pipeline, graph, state, undecided)
+    })
+}
+
+/// One pass of penalty computation on the engine (the §5 pipeline shape).
+fn bounds_via_pipeline(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    state: &State,
+    undecided: &[NodeId],
+) -> Result<Vec<Bounds>, DistError> {
+    let undecided_ids: Vec<u64> = undecided.iter().map(|v| v.raw()).collect();
+    let nodes = pipeline.from_vec(undecided_ids.clone());
+
+    // Fan the neighbor lists of undecided points out to edge triples
+    // keyed by the *neighbor*, so its status can be joined in.
+    let fanned: PCollection<(u64, (u64, f32))> = nodes.flat_map(|v| {
+        let vid = NodeId::new(v);
+        graph.edges(vid).map(move |(w, s)| (w.raw(), (v, s))).collect::<Vec<_>>()
+    })?;
+
+    // Status sets as keyed collections (the join's second and third arm).
+    let included: Vec<(u64, ())> = state.included.iter().map(|v| (v.raw(), ())).collect();
+    let excluded: Vec<(u64, ())> = state.excluded.iter().map(|v| (v.raw(), ())).collect();
+    let included = pipeline.from_vec(included);
+    let excluded = pipeline.from_vec(excluded);
+
+    // Three-way join on the neighbor id: every edge learns its far
+    // endpoint's status, then flips back to being keyed by the undecided
+    // point with the weight tagged (counts-for-min, counts-for-max).
+    let tagged: PCollection<(u64, (u64, f32, bool, bool))> =
+        fanned.co_group_3(&included, &excluded)?.flat_map(|(w, (edges, inc, exc))| {
+            let w_included = !inc.is_empty();
+            let w_excluded = !exc.is_empty();
+            edges
+                .into_iter()
+                .map(move |(v, s)| (v, (w, s, !w_excluded, w_included)))
+                .collect::<Vec<_>>()
+        })?;
+
+    // Per-point reduction. Contributions are ordered by neighbor id before
+    // summing so the floating-point sums match the in-memory driver
+    // exactly. The outer join with the undecided set keeps isolated points
+    // (no surviving edges) in the output.
+    let keyed_undecided: PCollection<(u64, ())> =
+        pipeline.from_vec(undecided_ids.iter().map(|&v| (v, ())).collect::<Vec<_>>());
+    let penalties: PCollection<(u64, f64, f64)> =
+        keyed_undecided.co_group_2(&tagged)?.map(move |(v, (_, mut contributions))| {
+            contributions.sort_by_key(|&(w, _, _, _)| w);
+            let mut min_penalty = 0.0f64;
+            let mut max_penalty = 0.0f64;
+            for &(_, s, counts_for_min, counts_for_max) in &contributions {
+                if counts_for_min {
+                    min_penalty += f64::from(s);
+                }
+                if counts_for_max {
+                    max_penalty += f64::from(s);
+                }
+            }
+            (v, min_penalty, max_penalty)
+        })?;
+
+    let mut bounds: Vec<Bounds> = penalties
+        .collect()?
+        .into_iter()
+        .map(|(node, min_penalty, max_penalty)| Bounds { node, min_penalty, max_penalty })
+        .collect();
+    bounds.sort_by_key(|b| b.node);
+    Ok(bounds)
+}
+
+/// The shared grow/shrink driver. `compute_bounds` produces the per-pass
+/// bound table for the current undecided set; everything downstream of it
+/// is common, which is what guarantees in-memory/dataflow equality.
+fn run_bounding<F>(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    config: &BoundingConfig,
+    mut compute_bounds: F,
+) -> Result<BoundingOutcome, DistError>
+where
+    F: FnMut(&State, &[NodeId]) -> Result<Vec<Bounds>, DistError>,
+{
+    let n = graph.num_nodes();
+    let mean_utility =
+        objective.utilities().iter().map(|&u| f64::from(u)).sum::<f64>() / (n.max(1)) as f64;
+    let mut state = State { included: NodeSet::new(n), excluded: NodeSet::new(n), k };
+    let mut grow_rounds = 0usize;
+    let mut shrink_rounds = 0usize;
+    let mut pass = 0u64;
+
+    for _cycle in 0..config.max_cycles {
+        if state.k_remaining() == 0 {
+            break;
+        }
+        let mut changed = false;
+
+        // --- Grow pass (Lemma 4.3). ---
+        let undecided = state.undecided(n);
+        if undecided.is_empty() {
+            break;
+        }
+        let bounds = compute_bounds(&state, &undecided)?;
+        grow_rounds += 1;
+        pass += 1;
+        let k_rem = state.k_remaining();
+        let derived = derive(&bounds, objective, k_rem, undecided.len());
+        let mut sample: Vec<f64> = derived
+            .iter()
+            .filter(|b| {
+                in_sample(
+                    &config.mode,
+                    pass,
+                    0,
+                    b.node,
+                    objective.utility(NodeId::new(b.node)),
+                    mean_utility,
+                )
+            })
+            .map(|b| b.umax)
+            .collect();
+        let index = threshold_index(&config.mode, k_rem, sample.len());
+        if let Some(threshold) = kth_largest_in_memory(&mut sample, index) {
+            for node in decide_grow(&derived, threshold, k_rem) {
+                state.included.insert(NodeId::new(node));
+                changed = true;
+            }
+        }
+        if state.k_remaining() == 0 {
+            break;
+        }
+
+        // --- Shrink pass (Lemma 4.4 exactly; Def. 4.5 under sampling). ---
+        let undecided = state.undecided(n);
+        if undecided.is_empty() {
+            break;
+        }
+        let bounds = compute_bounds(&state, &undecided)?;
+        shrink_rounds += 1;
+        pass += 1;
+        let k_rem = state.k_remaining();
+        let exact = config.is_exact();
+        let derived = derive(&bounds, objective, k_rem, undecided.len());
+        let mut sample: Vec<f64> = derived
+            .iter()
+            .filter(|b| {
+                in_sample(
+                    &config.mode,
+                    pass,
+                    1,
+                    b.node,
+                    objective.utility(NodeId::new(b.node)),
+                    mean_utility,
+                )
+            })
+            .map(|b| if exact { b.umin } else { b.uexp })
+            .collect();
+        // The exact threshold is the k-th largest worst case; the
+        // approximate one keeps a SAFETY_POOL_FACTOR·k expected-best pool.
+        let k_effective = if exact { k_rem } else { SAFETY_POOL_FACTOR * k_rem };
+        let index = threshold_index(&config.mode, k_effective, sample.len());
+        if let Some(threshold) = kth_largest_in_memory(&mut sample, index) {
+            let max_excludable = undecided.len().saturating_sub(k_rem);
+            for node in decide_shrink(&derived, exact, threshold, max_excludable) {
+                state.excluded.insert(NodeId::new(node));
+                changed = true;
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    // A complete bounding (budget fully included) has implicitly decided
+    // every still-open point *out* of the subset.
+    if state.k_remaining() == 0 {
+        for v in state.undecided(n) {
+            state.excluded.insert(v);
+        }
+    }
+    let included: Vec<NodeId> = state.included.iter().collect();
+    let remaining = state.undecided(n);
+    let k_remaining = state.k_remaining();
+    Ok(BoundingOutcome {
+        excluded_count: state.excluded.len(),
+        included,
+        remaining,
+        grow_rounds,
+        shrink_rounds,
+        k_remaining,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use submod_core::GraphBuilder;
+
+    fn figure1_instance() -> (SimilarityGraph, PairwiseObjective) {
+        // The paper's Figure 1 layout: two similar pairs plus two loners.
+        let mut b = GraphBuilder::new(6);
+        b.add_undirected(0, 1, 0.8).unwrap();
+        b.add_undirected(2, 3, 0.7).unwrap();
+        b.add_undirected(1, 2, 0.3).unwrap();
+        let graph = b.build();
+        let objective =
+            PairwiseObjective::from_alpha(0.7, vec![0.9, 0.6, 0.8, 0.5, 0.75, 0.1]).unwrap();
+        (graph, objective)
+    }
+
+    #[test]
+    fn exact_bounding_is_sound_on_figure_1() {
+        let (graph, objective) = figure1_instance();
+        let outcome = bound_in_memory(&graph, &objective, 3, &BoundingConfig::exact()).unwrap();
+        // Sound inclusions must appear in the centralized greedy solution.
+        let central = submod_core::greedy_select(&graph, &objective, 3).unwrap();
+        for v in &outcome.included {
+            assert!(central.selected().contains(v), "included {v} not in greedy solution");
+        }
+        // Sound exclusions must not.
+        let undecided: std::collections::HashSet<u64> =
+            outcome.remaining.iter().map(|v| v.raw()).collect();
+        for v in central.selected() {
+            assert!(
+                outcome.included.contains(v) || undecided.contains(&v.raw()),
+                "greedy pick {v} was excluded"
+            );
+        }
+        assert_eq!(outcome.k_remaining, 3 - outcome.included.len());
+        assert!(outcome.decision_fraction(6) > 0.0);
+    }
+
+    #[test]
+    fn bookkeeping_adds_up() {
+        let (graph, objective) = figure1_instance();
+        let outcome = bound_in_memory(&graph, &objective, 3, &BoundingConfig::exact()).unwrap();
+        assert_eq!(
+            outcome.included.len() + outcome.excluded_count + outcome.remaining.len(),
+            graph.num_nodes()
+        );
+        assert!(outcome.remaining.len() >= outcome.k_remaining);
+        assert!(outcome.remaining.windows(2).all(|w| w[0] < w[1]), "remaining sorted");
+        assert!(outcome.included.windows(2).all(|w| w[0] < w[1]), "included sorted");
+    }
+
+    #[test]
+    fn approximate_bounding_is_deterministic_per_seed() {
+        let (graph, objective) = figure1_instance();
+        let config = BoundingConfig::approximate(0.6, SamplingStrategy::Uniform, 5).unwrap();
+        let a = bound_in_memory(&graph, &objective, 3, &config).unwrap();
+        let b = bound_in_memory(&graph, &objective, 3, &config).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn weighted_and_uniform_sampling_both_run() {
+        let (graph, objective) = figure1_instance();
+        for strategy in [SamplingStrategy::Uniform, SamplingStrategy::Weighted] {
+            let config = BoundingConfig::approximate(0.5, strategy, 7).unwrap();
+            let outcome = bound_in_memory(&graph, &objective, 3, &config).unwrap();
+            assert!(outcome.remaining.len() >= outcome.k_remaining);
+        }
+    }
+
+    #[test]
+    fn dataflow_matches_in_memory_exactly() {
+        let (graph, objective) = figure1_instance();
+        let pipeline = Pipeline::new(3).unwrap();
+        for config in [
+            BoundingConfig::exact(),
+            BoundingConfig::approximate(0.5, SamplingStrategy::Uniform, 3).unwrap(),
+            BoundingConfig::approximate(0.5, SamplingStrategy::Weighted, 3).unwrap(),
+        ] {
+            let mem = bound_in_memory(&graph, &objective, 3, &config).unwrap();
+            let df = bound_dataflow(&pipeline, &graph, &objective, 3, &config).unwrap();
+            assert_eq!(mem, df);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (graph, objective) = figure1_instance();
+        assert!(bound_in_memory(&graph, &objective, 7, &BoundingConfig::exact()).is_err());
+        let wrong = PairwiseObjective::from_alpha(0.7, vec![1.0; 4]).unwrap();
+        assert!(bound_in_memory(&graph, &wrong, 2, &BoundingConfig::exact()).is_err());
+    }
+
+    #[test]
+    fn zero_budget_is_complete_immediately() {
+        let (graph, objective) = figure1_instance();
+        let outcome = bound_in_memory(&graph, &objective, 0, &BoundingConfig::exact()).unwrap();
+        assert!(outcome.is_complete());
+        assert!(outcome.included.is_empty());
+    }
+}

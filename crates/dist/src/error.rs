@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+use submod_core::CoreError;
+use submod_dataflow::DataflowError;
+
+/// Errors produced by the distributed selection layer.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum DistError {
+    /// A configuration parameter violated its constraint.
+    InvalidConfig {
+        /// Description of the violated constraint.
+        detail: String,
+    },
+    /// A centralized primitive failed in the core layer.
+    Core(CoreError),
+    /// A pipeline operation failed in the dataflow engine.
+    Dataflow(DataflowError),
+}
+
+impl DistError {
+    pub(crate) fn config(detail: impl Into<String>) -> Self {
+        DistError::InvalidConfig { detail: detail.into() }
+    }
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidConfig { detail } => {
+                write!(f, "invalid distributed-selection config: {detail}")
+            }
+            DistError::Core(inner) => write!(f, "core failure: {inner}"),
+            DistError::Dataflow(inner) => write!(f, "dataflow failure: {inner}"),
+        }
+    }
+}
+
+impl Error for DistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DistError::Core(inner) => Some(inner),
+            DistError::Dataflow(inner) => Some(inner),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for DistError {
+    fn from(err: CoreError) -> Self {
+        DistError::Core(err)
+    }
+}
+
+impl From<DataflowError> for DistError {
+    fn from(err: DataflowError) -> Self {
+        DistError::Dataflow(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_sources() {
+        let err: DistError = CoreError::SelfLoop { node: 3 }.into();
+        assert!(err.source().is_some());
+        let err: DistError = DataflowError::InvalidArgument { detail: "x".into() }.into();
+        assert!(err.source().is_some());
+        assert!(DistError::config("bad p").source().is_none());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(DistError::config("p must be positive").to_string().contains("p must be"));
+    }
+}

@@ -1,0 +1,153 @@
+//! Subset scoring: the in-memory reference and the §5 dataflow pipeline
+//! that computes `f(S)` without any worker holding `S`'s edge set.
+
+use crate::DistError;
+use submod_core::{NodeId, PairwiseObjective, SimilarityGraph};
+use submod_dataflow::{PCollection, Pipeline};
+
+/// Evaluates `f(S)` in memory (delegates to
+/// [`PairwiseObjective::evaluate`]; exposed here so callers score
+/// distributed outputs through one module).
+pub fn score_in_memory(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    subset: &[NodeId],
+) -> f64 {
+    objective.evaluate(graph, subset)
+}
+
+/// Evaluates `f(S)` on the dataflow engine.
+///
+/// The unary term streams the subset's utilities; the pair term fans the
+/// subset's neighbor lists out to edge records keyed by the far endpoint
+/// and joins them against the subset twice (once per endpoint), so each
+/// undirected in-subset edge is counted exactly twice and halved — the §5
+/// scoring pipeline. Every shuffle respects the pipeline's memory budget.
+///
+/// # Errors
+///
+/// Returns an error if the objective does not match the graph, a subset
+/// id is out of bounds, or spill I/O fails.
+pub fn score_dataflow(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    subset: &[NodeId],
+) -> Result<f64, DistError> {
+    if objective.num_nodes() != graph.num_nodes() {
+        return Err(submod_core::CoreError::UtilityLengthMismatch {
+            utilities: objective.num_nodes(),
+            num_nodes: graph.num_nodes(),
+        }
+        .into());
+    }
+    for &v in subset {
+        if v.index() >= graph.num_nodes() {
+            return Err(submod_core::CoreError::NodeOutOfBounds {
+                node: v.raw(),
+                num_nodes: graph.num_nodes(),
+            }
+            .into());
+        }
+    }
+
+    let ids: Vec<u64> = subset.iter().map(|v| v.raw()).collect();
+    let members = pipeline.from_vec(ids.clone());
+
+    // Unary term: α·Σ u(v), deduplicating repeated ids via a shuffle.
+    let distinct: PCollection<u64> = members.distinct()?;
+    let utilities: Vec<f32> = objective.utilities().to_vec();
+    let unary = distinct.map(move |v| f64::from(utilities[v as usize]))?.sum()?;
+
+    // Pair term: fan out each member's adjacency keyed by the neighbor,
+    // keep edges whose far endpoint is also in the subset, and sum. Every
+    // undirected edge inside S appears once per direction.
+    let fanned: PCollection<(u64, f64)> = distinct.flat_map(|v| {
+        graph.edges(NodeId::new(v)).map(|(w, s)| (w.raw(), f64::from(s))).collect::<Vec<_>>()
+    })?;
+    let keyed_members: PCollection<(u64, ())> = distinct.map(|v| (v, ()))?;
+    let pair_directed = fanned
+        .co_group_2(&keyed_members)?
+        .flat_map(
+            |(_, (weights, membership))| {
+                if membership.is_empty() {
+                    Vec::new()
+                } else {
+                    weights
+                }
+            },
+        )?
+        .sum()?;
+
+    Ok(objective.alpha() * unary - objective.beta() * pair_directed / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use submod_core::GraphBuilder;
+    use submod_dataflow::MemoryBudget;
+
+    fn instance() -> (SimilarityGraph, PairwiseObjective) {
+        let mut b = GraphBuilder::new(30);
+        for v in 0..30u64 {
+            b.add_undirected(v, (v + 1) % 30, 0.4).unwrap();
+            b.add_undirected(v, (v + 5) % 30, 0.2).unwrap();
+        }
+        let graph = b.build();
+        let utilities: Vec<f32> = (0..30).map(|i| (i % 7) as f32 / 7.0 + 0.1).collect();
+        (graph, PairwiseObjective::from_alpha(0.8, utilities).unwrap())
+    }
+
+    #[test]
+    fn dataflow_matches_in_memory() {
+        let (graph, objective) = instance();
+        let subset: Vec<NodeId> = (0..30).step_by(2).map(NodeId::from_index).collect();
+        let reference = score_in_memory(&graph, &objective, &subset);
+        let pipeline = Pipeline::new(3).unwrap();
+        let scored = score_dataflow(&pipeline, &graph, &objective, &subset).unwrap();
+        assert!(
+            (reference - scored).abs() < 1e-9 * reference.abs().max(1.0),
+            "{reference} vs {scored}"
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_double_count() {
+        let (graph, objective) = instance();
+        let mut subset: Vec<NodeId> = (0..10).map(NodeId::from_index).collect();
+        subset.push(NodeId::new(0));
+        subset.push(NodeId::new(3));
+        let pipeline = Pipeline::new(2).unwrap();
+        let scored = score_dataflow(&pipeline, &graph, &objective, &subset).unwrap();
+        let deduped: Vec<NodeId> = (0..10).map(NodeId::from_index).collect();
+        let reference = score_in_memory(&graph, &objective, &deduped);
+        assert!((reference - scored).abs() < 1e-9 * reference.abs().max(1.0));
+    }
+
+    #[test]
+    fn empty_subset_scores_zero() {
+        let (graph, objective) = instance();
+        let pipeline = Pipeline::new(2).unwrap();
+        assert_eq!(score_dataflow(&pipeline, &graph, &objective, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn tiny_budget_spills_without_changing_the_score() {
+        let (graph, objective) = instance();
+        let subset: Vec<NodeId> = (0..30).map(NodeId::from_index).collect();
+        let reference = score_in_memory(&graph, &objective, &subset);
+        let pipeline =
+            Pipeline::builder().workers(2).memory_budget(MemoryBudget::bytes(256)).build().unwrap();
+        let scored = score_dataflow(&pipeline, &graph, &objective, &subset).unwrap();
+        assert!((reference - scored).abs() < 1e-9 * reference.abs().max(1.0));
+        assert!(pipeline.metrics().bytes_spilled > 0);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let (graph, objective) = instance();
+        let pipeline = Pipeline::new(2).unwrap();
+        assert!(score_dataflow(&pipeline, &graph, &objective, &[NodeId::new(99)]).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the distributed layer: degenerate-parameter
+//! equivalence with the centralized reference, and pipeline output
+//! invariants across random instances, seeds, and configurations.
+
+use proptest::prelude::*;
+use submod_core::{greedy_select, GraphBuilder, NodeId, PairwiseObjective, SimilarityGraph};
+use submod_dist::{
+    distributed_greedy, select_subset, BoundingConfig, DistGreedyConfig, PipelineConfig,
+    SamplingStrategy,
+};
+
+/// An arbitrary small weighted instance: edge list + utilities.
+fn arb_instance(max_nodes: usize) -> impl Strategy<Value = (SimilarityGraph, PairwiseObjective)> {
+    (4usize..=max_nodes)
+        .prop_flat_map(|n| {
+            let edges =
+                proptest::collection::vec((0..n as u64, 0..n as u64, 0.01f32..1.0), 0..n * 3);
+            let utilities = proptest::collection::vec(0.0f32..1.0, n);
+            let alpha = 0.5f64..=0.95;
+            (Just(n), edges, utilities, alpha)
+        })
+        .prop_map(|(n, edges, utilities, alpha)| {
+            let mut b = GraphBuilder::new(n);
+            for (v, w, s) in edges {
+                if v != w {
+                    b.add_undirected(v, w, s).expect("valid edge");
+                }
+            }
+            let graph = b.build();
+            let objective = PairwiseObjective::from_alpha(alpha, utilities).expect("objective");
+            (graph, objective)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The ISSUE's degenerate-equivalence contract: one partition and one
+    /// round *is* the centralized greedy — identical selection order and
+    /// matching objective value on every instance.
+    #[test]
+    fn one_partition_one_round_equals_centralized(
+        (graph, objective) in arb_instance(24),
+        seed in 0u64..1000,
+    ) {
+        let n = graph.num_nodes();
+        let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        for k in [1, n / 3, n / 2, n] {
+            prop_assume!(k >= 1);
+            let config = DistGreedyConfig::new(1, 1).expect("config").seed(seed);
+            let distributed =
+                distributed_greedy(&graph, &objective, &ground, k, &config).expect("distributed");
+            let central = greedy_select(&graph, &objective, k).expect("centralized");
+            prop_assert_eq!(distributed.selection.selected(), central.selected());
+            let gap = (distributed.selection.objective_value()
+                - central.objective_value())
+            .abs();
+            prop_assert!(
+                gap < 1e-6 * central.objective_value().abs().max(1.0),
+                "objective gap {} on n = {}, k = {}", gap, n, k
+            );
+        }
+    }
+
+    /// The ISSUE's pipeline contract: `select_subset` always returns
+    /// exactly `k` unique in-bounds nodes, for every configuration shape.
+    #[test]
+    fn select_subset_always_returns_k_unique_nodes(
+        (graph, objective) in arb_instance(24),
+        machines in 1usize..6,
+        rounds in 1usize..5,
+        seed in 0u64..1000,
+        with_bounding in any::<bool>(),
+        sampling_p in 0.2f64..=1.0,
+        adaptive in any::<bool>(),
+    ) {
+        let n = graph.num_nodes();
+        let k = (n / 3).max(1);
+        let greedy = DistGreedyConfig::new(machines, rounds)
+            .expect("config")
+            .adaptive(adaptive)
+            .seed(seed);
+        let config = if with_bounding {
+            PipelineConfig::with_bounding(
+                BoundingConfig::approximate(sampling_p, SamplingStrategy::Uniform, seed)
+                    .expect("bounding config"),
+                greedy,
+            )
+        } else {
+            PipelineConfig::greedy_only(greedy)
+        };
+        let outcome = select_subset(&graph, &objective, k, &config).expect("pipeline");
+        prop_assert_eq!(outcome.selection.len(), k);
+        let mut ids: Vec<u64> =
+            outcome.selection.selected().iter().map(|v| v.raw()).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), before, "duplicate nodes in the subset");
+        prop_assert!(ids.iter().all(|&id| (id as usize) < n), "out-of-bounds node");
+        prop_assert_eq!(outcome.bounding.is_some(), with_bounding);
+    }
+
+    /// Multi-round pool shrinkage: round statistics are coherent and the
+    /// pool never grows.
+    #[test]
+    fn round_stats_shrink_toward_k(
+        (graph, objective) in arb_instance(30),
+        machines in 1usize..5,
+        rounds in 1usize..6,
+        seed in 0u64..100,
+    ) {
+        let n = graph.num_nodes();
+        let k = (n / 4).max(1);
+        let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+        let config = DistGreedyConfig::new(machines, rounds).expect("config").seed(seed);
+        let report =
+            distributed_greedy(&graph, &objective, &ground, k, &config).expect("distributed");
+        prop_assert_eq!(report.rounds.len(), rounds);
+        prop_assert_eq!(report.rounds[0].input_size, n);
+        let mut previous_target = usize::MAX;
+        for stats in &report.rounds {
+            prop_assert!(stats.output_size <= stats.input_size);
+            prop_assert!(stats.target <= previous_target, "Δ targets must not grow");
+            prop_assert!(stats.partitions >= 1 && stats.partitions <= machines);
+            previous_target = stats.target;
+        }
+        prop_assert_eq!(report.rounds[rounds - 1].target, k);
+        prop_assert_eq!(report.selection.len(), k);
+    }
+
+    /// Bounding bookkeeping holds on arbitrary instances: partition of the
+    /// ground set, sorted outputs, and a pool that can still fill `k`.
+    #[test]
+    fn bounding_partitions_the_ground_set(
+        (graph, objective) in arb_instance(24),
+        exact in any::<bool>(),
+        p in 0.2f64..=1.0,
+        seed in 0u64..1000,
+    ) {
+        let n = graph.num_nodes();
+        let k = (n / 3).max(1);
+        let config = if exact {
+            BoundingConfig::exact()
+        } else {
+            BoundingConfig::approximate(p, SamplingStrategy::Uniform, seed).expect("config")
+        };
+        let outcome =
+            submod_dist::bound_in_memory(&graph, &objective, k, &config).expect("bounding");
+        prop_assert_eq!(
+            outcome.included.len() + outcome.excluded_count + outcome.remaining.len(),
+            n
+        );
+        prop_assert!(outcome.included.len() <= k);
+        prop_assert_eq!(outcome.k_remaining, k - outcome.included.len());
+        prop_assert!(outcome.remaining.len() >= outcome.k_remaining);
+        prop_assert!(outcome.remaining.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(outcome.included.windows(2).all(|w| w[0] < w[1]));
+    }
+}

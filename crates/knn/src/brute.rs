@@ -71,11 +71,8 @@ pub(crate) fn top_k_by_cosine(
             continue;
         }
         let denom = data.row_norm(i) * qn;
-        let sim = if denom <= f32::MIN_POSITIVE {
-            0.0
-        } else {
-            crate::distance::dot(row, query) / denom
-        };
+        let sim =
+            if denom <= f32::MIN_POSITIVE { 0.0 } else { crate::distance::dot(row, query) / denom };
         heap.offer(i as u32, sim);
     }
     heap.into_sorted()
@@ -237,9 +234,8 @@ mod tests {
     #[test]
     fn ties_break_toward_smaller_index() {
         // Identical points: smaller indices must win the top-k slots.
-        let data =
-            Embeddings::from_rows(2, &[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]])
-                .unwrap();
+        let data = Embeddings::from_rows(2, &[&[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0], &[1.0, 0.0]])
+            .unwrap();
         let index = ExactKnn::build(data).unwrap();
         let hits = index.search(&[1.0, 0.0], 2);
         let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();

@@ -127,7 +127,7 @@ mod tests {
         for i in 0..n {
             let c = &centers[i % clusters];
             for &x in c {
-                flat.push(x + rng.gen_range(-0.3..0.3));
+                flat.push(x + rng.gen_range(-0.3f32..0.3));
             }
         }
         Embeddings::from_flat(dim, flat).unwrap()
@@ -144,7 +144,7 @@ mod tests {
         assert!(graph.min_degree() >= 9, "min degree {}", graph.min_degree());
         // The paper reports ~15/16 average neighbors after symmetrizing 10-NN.
         let avg = graph.avg_degree();
-        assert!(avg >= 10.0 && avg <= 20.0, "avg degree {avg}");
+        assert!((10.0..=20.0).contains(&avg), "avg degree {avg}");
     }
 
     #[test]
@@ -161,8 +161,7 @@ mod tests {
     fn ivf_graph_close_to_exact() {
         let data = gaussian_mixture(400, 8, 8, 3);
         let exact = build_knn_graph(&data, 5, &KnnBackend::Exact, 0).unwrap();
-        let ivf =
-            build_knn_graph(&data, 5, &KnnBackend::Ivf { nlist: 8, nprobe: 3 }, 3).unwrap();
+        let ivf = build_knn_graph(&data, 5, &KnnBackend::Ivf { nlist: 8, nprobe: 3 }, 3).unwrap();
         // Count directed-edge overlap.
         let mut shared = 0usize;
         let mut total = 0usize;
@@ -180,8 +179,7 @@ mod tests {
     #[test]
     fn lsh_graph_builds_and_is_symmetric() {
         let data = gaussian_mixture(300, 8, 6, 4);
-        let graph =
-            build_knn_graph(&data, 5, &KnnBackend::Lsh { tables: 6, bits: 8 }, 4).unwrap();
+        let graph = build_knn_graph(&data, 5, &KnnBackend::Lsh { tables: 6, bits: 8 }, 4).unwrap();
         assert!(graph.is_symmetric());
         assert!(graph.min_degree() >= 4);
     }

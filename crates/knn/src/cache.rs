@@ -31,11 +31,7 @@ pub fn default_cache_dir() -> PathBuf {
 ///
 /// Returns an error if the file cannot be written or the utilities do not
 /// align with the graph.
-pub fn save_graph(
-    path: &Path,
-    graph: &SimilarityGraph,
-    utilities: &[f32],
-) -> Result<(), KnnError> {
+pub fn save_graph(path: &Path, graph: &SimilarityGraph, utilities: &[f32]) -> Result<(), KnnError> {
     if utilities.len() != graph.num_nodes() {
         return Err(KnnError::Cache {
             detail: format!(

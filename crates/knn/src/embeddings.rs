@@ -166,10 +166,7 @@ mod tests {
 
     #[test]
     fn validation_failures() {
-        assert!(matches!(
-            Embeddings::from_flat(0, vec![]),
-            Err(KnnError::EmptyParameter { .. })
-        ));
+        assert!(matches!(Embeddings::from_flat(0, vec![]), Err(KnnError::EmptyParameter { .. })));
         assert!(matches!(
             Embeddings::from_flat(3, vec![1.0, 2.0]),
             Err(KnnError::DimensionMismatch { .. })

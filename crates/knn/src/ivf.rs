@@ -119,7 +119,7 @@ mod tests {
         for c in &centers {
             for _ in 0..per_cluster {
                 for &x in c {
-                    flat.push(x + rng.gen_range(-0.2..0.2));
+                    flat.push(x + rng.gen_range(-0.2f32..0.2));
                 }
             }
         }

@@ -195,9 +195,7 @@ pub fn kmeans(
                 let worst = new_assignments
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| {
-                        a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal)
-                    })
+                    .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(worst));
@@ -233,8 +231,8 @@ mod tests {
         let mut flat = Vec::new();
         for &(cx, cy) in centers {
             for _ in 0..per_cluster {
-                flat.push(cx + rng.gen_range(-0.1..0.1));
-                flat.push(cy + rng.gen_range(-0.1..0.1));
+                flat.push(cx + rng.gen_range(-0.1f32..0.1));
+                flat.push(cy + rng.gen_range(-0.1f32..0.1));
             }
         }
         Embeddings::from_flat(2, flat).unwrap()

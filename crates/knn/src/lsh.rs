@@ -146,14 +146,13 @@ mod tests {
 
     fn noisy_duplicates(base: usize, copies: usize, dim: usize, seed: u64) -> Embeddings {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let bases: Vec<Vec<f32>> = (0..base)
-            .map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect())
-            .collect();
+        let bases: Vec<Vec<f32>> =
+            (0..base).map(|_| (0..dim).map(|_| rng.gen_range(-1.0..1.0f32)).collect()).collect();
         let mut flat = Vec::new();
         for b in &bases {
             for _ in 0..copies {
                 for &x in b {
-                    flat.push(x + rng.gen_range(-0.01..0.01));
+                    flat.push(x + rng.gen_range(-0.01f32..0.01));
                 }
             }
         }
@@ -178,10 +177,16 @@ mod tests {
         let mut hits = 0usize;
         let mut total = 0usize;
         for q in (0..data.len()).step_by(13) {
-            let truth: Vec<u32> =
-                exact.search_excluding(data.row(q), 5, q as u32).into_iter().map(|(i, _)| i).collect();
-            let approx: Vec<u32> =
-                lsh.search_excluding(data.row(q), 5, q as u32).into_iter().map(|(i, _)| i).collect();
+            let truth: Vec<u32> = exact
+                .search_excluding(data.row(q), 5, q as u32)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
+            let approx: Vec<u32> = lsh
+                .search_excluding(data.row(q), 5, q as u32)
+                .into_iter()
+                .map(|(i, _)| i)
+                .collect();
             total += truth.len();
             hits += truth.iter().filter(|t| approx.contains(t)).count();
         }
@@ -211,9 +216,6 @@ mod tests {
         let data = noisy_duplicates(5, 5, 8, 2);
         let a = LshIndex::build(data.clone(), 4, 8, 77).unwrap();
         let b = LshIndex::build(data.clone(), 4, 8, 77).unwrap();
-        assert_eq!(
-            a.search(data.row(3), 4),
-            b.search(data.row(3), 4)
-        );
+        assert_eq!(a.search(data.row(3), 4), b.search(data.row(3), 4));
     }
 }

@@ -26,10 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Streaming pass over a slice of the virtual dataset with a strict
     // 4 MiB per-worker budget: compute utility statistics via dataflow.
-    let pipeline = Pipeline::builder()
-        .workers(8)
-        .memory_budget(MemoryBudget::mib(4))
-        .build()?;
+    let pipeline = Pipeline::builder().workers(8).memory_budget(MemoryBudget::mib(4)).build()?;
     let sample: u64 = 2_000_000.min(perturbed.total_points());
     let stride = (perturbed.total_points() / sample).max(1);
     println!("\nstreaming {sample} virtual points (stride {stride}) through 8 workers @ 4 MiB...");
@@ -62,9 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for rounds in [1usize, 2, 8] {
         let t = Instant::now();
-        let cfg = PipelineConfig::greedy_only(
-            DistGreedyConfig::new(16, rounds)?.adaptive(true).seed(1),
-        );
+        let cfg =
+            PipelineConfig::greedy_only(DistGreedyConfig::new(16, rounds)?.adaptive(true).seed(1));
         let outcome = select_subset(&graph, &objective, k, &cfg)?;
         println!(
             "16 partitions, {rounds} round(s): f(S) = {:>12.2} in {:.1?}",

@@ -36,23 +36,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nexact bounding result:");
     println!("  grow passes:   {}", outcome.grow_rounds);
     println!("  shrink passes: {}", outcome.shrink_rounds);
-    println!(
-        "  included: {:?}",
-        outcome.included.iter().map(|n| n.raw()).collect::<Vec<_>>()
-    );
-    println!(
-        "  remaining: {:?}",
-        outcome.remaining.iter().map(|n| n.raw()).collect::<Vec<_>>()
-    );
+    println!("  included: {:?}", outcome.included.iter().map(|n| n.raw()).collect::<Vec<_>>());
+    println!("  remaining: {:?}", outcome.remaining.iter().map(|n| n.raw()).collect::<Vec<_>>());
     println!("  excluded: {} point(s)", outcome.excluded_count);
 
     if !outcome.is_complete() {
         println!("\nbounding left {} point(s) undecided;", outcome.k_remaining);
         println!("completing with the distributed greedy algorithm:");
-        let config = PipelineConfig::with_bounding(
-            BoundingConfig::exact(),
-            DistGreedyConfig::new(2, 2)?,
-        );
+        let config =
+            PipelineConfig::with_bounding(BoundingConfig::exact(), DistGreedyConfig::new(2, 2)?);
         let full = select_subset(&graph, &objective, k, &config)?;
         println!(
             "  final subset: {:?}  f(S) = {:.4}",

@@ -14,22 +14,17 @@ use submod_select::prelude::*;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A pipeline of 4 simulated workers with a deliberately small 256 KiB
     // budget so the shuffle's spill path is observable.
-    let pipeline = Pipeline::builder()
-        .workers(4)
-        .memory_budget(MemoryBudget::bytes(256 * 1024))
-        .build()?;
+    let pipeline =
+        Pipeline::builder().workers(4).memory_budget(MemoryBudget::bytes(256 * 1024)).build()?;
 
     // Source: 200k synthetic "edge" records (node, neighbor).
     let edges = pipeline.generate(200_000, |i| (i % 5_000, (i * 7 + 1) % 5_000))?;
     println!("source: {} edge records across {} shards", edges.count()?, edges.num_shards());
 
     // Transform chain: filter self-loops, compute degrees per node.
-    let degrees = edges
-        .filter(|(a, b)| a != b)?
-        .map(|(a, _)| (a, 1u64))?
-        .reduce_per_key(|x, y| x + y)?;
-    let max_degree = degrees
-        .aggregate(0u64, |acc, (_, d)| acc.max(d), |a, b| a.max(b))?;
+    let degrees =
+        edges.filter(|(a, b)| a != b)?.map(|(a, _)| (a, 1u64))?.reduce_per_key(|x, y| x + y)?;
+    let max_degree = degrees.aggregate(0u64, |acc, (_, d)| acc.max(d), |a, b| a.max(b))?;
     println!("distinct nodes: {}, max degree: {max_degree}", degrees.count()?);
 
     // A three-way co-group, the §5 bounding join shape: edges × a
@@ -37,9 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let solution = pipeline.from_vec((0u64..500).map(|v| (v * 10, ())).collect::<Vec<_>>());
     let utilities = pipeline.generate(5_000, |v| (v, v as f64 / 5_000.0))?;
     let joined = degrees.co_group_3(&solution, &utilities)?;
-    let in_solution = joined
-        .filter(|(_, (deg, sol, _))| !deg.is_empty() && !sol.is_empty())?
-        .count()?;
+    let in_solution =
+        joined.filter(|(_, (deg, sol, _))| !deg.is_empty() && !sol.is_empty())?.count()?;
     println!("nodes with degree info that are in the solution: {in_solution}");
 
     // Distributed order statistics without materializing the data.

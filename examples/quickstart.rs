@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Centralized greedy (paper Algorithm 2) — the quality reference.
     let central = greedy_select(&instance.graph, &objective, k)?;
-    println!("centralized greedy        f(S) = {:>10.4}  (100 % reference)", central.objective_value());
+    println!(
+        "centralized greedy        f(S) = {:>10.4}  (100 % reference)",
+        central.objective_value()
+    );
 
     // 2. Naive distributed: 8 partitions, a single round.
     let one_round = PipelineConfig::greedy_only(DistGreedyConfig::new(8, 1)?);
@@ -31,8 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     report("8 partitions, 1 round    ", &outcome, &central);
 
     // 3. Multi-round with adaptive partitioning (the paper's fix).
-    let multi_round =
-        PipelineConfig::greedy_only(DistGreedyConfig::new(8, 8)?.adaptive(true));
+    let multi_round = PipelineConfig::greedy_only(DistGreedyConfig::new(8, 8)?.adaptive(true));
     let outcome = select_subset(&instance.graph, &objective, k, &multi_round)?;
     report("8 partitions, 8 rounds A ", &outcome, &central);
 
@@ -56,11 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn report(
-    name: &str,
-    outcome: &submod_dist::PipelineOutcome,
-    central: &submod_core::Selection,
-) {
+fn report(name: &str, outcome: &submod_dist::PipelineOutcome, central: &submod_core::Selection) {
     let pct = outcome.selection.objective_value() / central.objective_value() * 100.0;
     println!(
         "{name}  f(S) = {:>10.4}  ({pct:>6.2} % of centralized)",

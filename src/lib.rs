@@ -55,9 +55,8 @@ pub use submod_knn;
 pub mod prelude {
     pub use submod_core::{
         greedy_select, greedy_select_with, lazy_greedy_select, naive_greedy_select,
-        stochastic_greedy_select, threshold_greedy_select, CoreError, GraphBuilder,
-        GreedyOptions, NodeId, NodeSet, PairwiseObjective, ScoreNormalizer, Selection,
-        SimilarityGraph,
+        stochastic_greedy_select, threshold_greedy_select, CoreError, GraphBuilder, GreedyOptions,
+        NodeId, NodeSet, PairwiseObjective, ScoreNormalizer, Selection, SimilarityGraph,
     };
     pub use submod_data::{
         build_instance, center_utilities, ClusteredDataset, CoarseClassifier, DataError,
@@ -67,8 +66,8 @@ pub mod prelude {
     pub use submod_dist::{
         bound_dataflow, bound_in_memory, complete_selection, distributed_greedy,
         distributed_greedy_dataflow, greedi, score_dataflow, score_in_memory, select_subset,
-        theorem_4_6, BoundingConfig, BoundingOutcome, DeltaSchedule, DistError,
-        DistGreedyConfig, PartitionStyle, PipelineConfig, SamplingStrategy,
+        theorem_4_6, BoundingConfig, BoundingOutcome, DeltaSchedule, DistError, DistGreedyConfig,
+        PartitionStyle, PipelineConfig, SamplingStrategy,
     };
     pub use submod_knn::{build_knn_graph, Embeddings, KnnBackend, NearestNeighbors};
 }

@@ -2,8 +2,8 @@
 //! repository on one instance, with the quality ordering the paper's
 //! arguments predict.
 
-use submod_select::prelude::*;
 use submod_core::threshold_greedy_select;
+use submod_select::prelude::*;
 
 fn instance() -> SelectionInstance {
     build_instance(&DatasetConfig::tiny().with_points_per_class(30).with_seed(2024))
@@ -19,8 +19,7 @@ fn all_strategies_produce_valid_subsets() {
 
     let central = greedy_select(&instance.graph, &objective, k).unwrap();
     let lazy = lazy_greedy_select(&instance.graph, &objective, k).unwrap();
-    let stochastic =
-        stochastic_greedy_select(&instance.graph, &objective, k, 0.1, 3).unwrap();
+    let stochastic = stochastic_greedy_select(&instance.graph, &objective, k, 0.1, 3).unwrap();
     let threshold = threshold_greedy_select(&instance.graph, &objective, k, 0.1).unwrap();
     let gd = greedi(&instance.graph, &objective, k, 4, PartitionStyle::Random, 1).unwrap();
     let multi = distributed_greedy(
@@ -110,10 +109,7 @@ fn geometric_schedule_is_competitive() {
         &objective,
         &ground,
         k,
-        &DistGreedyConfig::new(8, 4)
-            .unwrap()
-            .schedule(DeltaSchedule::Geometric)
-            .seed(9),
+        &DistGreedyConfig::new(8, 4).unwrap().schedule(DeltaSchedule::Geometric).seed(9),
     )
     .unwrap();
     assert_eq!(geometric.selection.len(), k);

@@ -24,8 +24,7 @@ fn dataflow_bounding_matches_reference_under_memory_pressure() {
         .memory_budget(MemoryBudget::bytes(16 * 1024))
         .build()
         .unwrap();
-    let constrained =
-        bound_dataflow(&pipeline, &instance.graph, &objective, k, &config).unwrap();
+    let constrained = bound_dataflow(&pipeline, &instance.graph, &objective, k, &config).unwrap();
 
     assert_eq!(reference, constrained, "memory pressure must not change the outcome");
     let metrics = pipeline.metrics();
@@ -50,8 +49,7 @@ fn dataflow_scoring_matches_reference_under_memory_pressure() {
         .memory_budget(MemoryBudget::bytes(8 * 1024))
         .build()
         .unwrap();
-    let scored =
-        score_dataflow(&pipeline, &instance.graph, &objective, subset.selected()).unwrap();
+    let scored = score_dataflow(&pipeline, &instance.graph, &objective, subset.selected()).unwrap();
     assert!(
         (reference - scored).abs() < 1e-9 * reference.abs().max(1.0),
         "{reference} vs {scored}"
@@ -66,11 +64,8 @@ fn virtual_dataset_streams_without_materialization() {
     // Half a million virtual points from a 500-point base.
     assert_eq!(perturbed.total_points(), base.len() as u64 * 1000);
 
-    let pipeline = Pipeline::builder()
-        .workers(4)
-        .memory_budget(MemoryBudget::mib(1))
-        .build()
-        .unwrap();
+    let pipeline =
+        Pipeline::builder().workers(4).memory_budget(MemoryBudget::mib(1)).build().unwrap();
     let sample = 100_000u64;
     let p = perturbed.clone();
     let utilities = pipeline.generate(sample, move |i| p.utility(i * 5) as f64).unwrap();
@@ -91,11 +86,8 @@ fn virtual_dataset_streams_without_materialization() {
 fn external_shuffle_handles_skewed_groups() {
     // A heavily skewed key distribution under a tiny budget exercises the
     // external sort-merge path end to end.
-    let pipeline = Pipeline::builder()
-        .workers(2)
-        .memory_budget(MemoryBudget::bytes(2048))
-        .build()
-        .unwrap();
+    let pipeline =
+        Pipeline::builder().workers(2).memory_budget(MemoryBudget::bytes(2048)).build().unwrap();
     let records: Vec<(u64, u64)> = (0..20_000).map(|i| (i % 7, i)).collect();
     let grouped = pipeline.from_vec(records).group_by_key().unwrap();
     let mut sizes: Vec<(u64, usize)> =

@@ -43,8 +43,7 @@ fn rounds_improve_scores_on_perturbed_data() {
     let avg = |rounds: usize| -> f64 {
         (0..3)
             .map(|seed| {
-                let config =
-                    DistGreedyConfig::new(16, rounds).unwrap().seed(seed).adaptive(false);
+                let config = DistGreedyConfig::new(16, rounds).unwrap().seed(seed).adaptive(false);
                 distributed_greedy(&graph, &objective, &ground, k, &config)
                     .unwrap()
                     .selection
@@ -82,7 +81,6 @@ fn streaming_statistics_match_direct_iteration() {
     let v = virtual_set.clone();
     let streamed = pipeline.generate(sample, move |i| v.utility(i * 7) as f64).unwrap();
     let streamed_sum = streamed.sum().unwrap();
-    let direct_sum: f64 =
-        (0..sample).map(|i| virtual_set.utility(i * 7) as f64).sum();
+    let direct_sum: f64 = (0..sample).map(|i| virtual_set.utility(i * 7) as f64).sum();
     assert!((streamed_sum - direct_sum).abs() < 1e-6 * direct_sum.abs().max(1.0));
 }

@@ -1,0 +1,209 @@
+//! A minimal, dependency-free, API-compatible subset of the `criterion`
+//! benchmarking crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored crate implements the workspace's benchmark surface: groups,
+//! `bench_function` / `bench_with_input`, `iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology (simplified but honest): every benchmark closure is warmed
+//! up once, then timed over `sample_size` samples; the mean, minimum, and
+//! maximum wall-clock per iteration are printed. There is no statistical
+//! regression analysis — the workspace uses benches for relative
+//! comparisons, which min/mean/max support.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function, mirroring
+/// `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter, rendered `name/param`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{parameter}", name.into()) }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// Renders the name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The timing driver handed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `routine`, once per sample, after one untimed warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher);
+        report(&self.name, &id.into_id(), &bencher.results);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, T, F>(&mut self, id: I, input: &T, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        F: FnMut(&mut Bencher, &T),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, results: Vec::new() };
+        f(&mut bencher, input);
+        report(&self.name, &id.into_id(), &bencher.results);
+        self
+    }
+
+    /// Finishes the group (printing is incremental; this is a no-op kept
+    /// for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, results: &[Duration]) {
+    if results.is_empty() {
+        println!("{group}/{id}: no samples collected");
+        return;
+    }
+    let total: Duration = results.iter().sum();
+    let mean = total / results.len() as u32;
+    let min = results.iter().min().expect("non-empty");
+    let max = results.iter().max().expect("non-empty");
+    println!("{group}/{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)", results.len());
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== bench group: {name} ==");
+        BenchmarkGroup { name, sample_size: 10, _criterion: self }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher { samples: 10, results: Vec::new() };
+        f(&mut bencher);
+        report("bench", id, &bencher.results);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_group_runs_closures() {
+        let mut c = Criterion::default();
+        let mut calls = 0u32;
+        {
+            let mut group = c.benchmark_group("smoke");
+            group.sample_size(3);
+            group.bench_function("count", |b| b.iter(|| calls += 1));
+            group.finish();
+        }
+        // One warm-up call plus three samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_render() {
+        assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+}

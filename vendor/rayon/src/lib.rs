@@ -1,0 +1,137 @@
+//! A minimal, dependency-free, API-compatible subset of the `rayon` crate.
+//!
+//! The build environment has no access to a crates.io registry, so this
+//! vendored crate provides the `par_iter` / `into_par_iter` entry points
+//! the workspace uses. The returned iterators are the ordinary sequential
+//! `std` iterators, so every adapter (`map`, `filter`, fallible
+//! `collect`, …) keeps working unchanged.
+//!
+//! Rationale: the dataflow engine's "workers" are a *simulation* of a
+//! cluster — its tests assert memory budgets, spill accounting, and result
+//! equivalence, none of which depend on wall-clock parallelism. A
+//! thread-pool drop-in can replace this shim without touching callers
+//! (the signatures match `rayon`'s).
+
+#![forbid(unsafe_code)]
+
+/// The `rayon::prelude` analogue: import to get `.par_iter()` and
+/// `.into_par_iter()` on the standard collections.
+pub mod prelude {
+    /// Conversion into a (sequentially executed) parallel iterator.
+    ///
+    /// Mirrors `rayon::iter::IntoParallelIterator`, backed by the type's
+    /// ordinary `IntoIterator` implementation.
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        /// Returns an iterator over owned items.
+        fn into_par_iter(self) -> Self::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {}
+
+    /// Borrowing conversion, mirroring
+    /// `rayon::iter::IntoParallelRefIterator`.
+    pub trait IntoParallelRefIterator<'a> {
+        /// The borrowed iterator type.
+        type Iter: Iterator;
+
+        /// Returns an iterator over `&T` items.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+    where
+        &'a C: IntoIterator,
+    {
+        type Iter = <&'a C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'a self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Chunked slice access, mirroring `rayon::slice::ParallelSlice`.
+    pub trait ParallelSlice<T> {
+        /// Returns an iterator over `chunk_size`-sized chunks supporting
+        /// rayon's `fold(identity, op).reduce(identity, op)` shape.
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+            ParChunks { inner: self.chunks(chunk_size) }
+        }
+    }
+
+    /// Sequential stand-in for rayon's chunked parallel iterator.
+    pub struct ParChunks<'a, T> {
+        inner: std::slice::Chunks<'a, T>,
+    }
+
+    impl<'a, T> ParChunks<'a, T> {
+        /// Folds every chunk into per-split accumulators (a single split,
+        /// sequentially), mirroring `ParallelIterator::fold`.
+        pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> Folded<Acc>
+        where
+            Id: Fn() -> Acc,
+            F: Fn(Acc, &'a [T]) -> Acc,
+        {
+            Folded { acc: self.inner.fold(identity(), fold_op) }
+        }
+    }
+
+    impl<'a, T> Iterator for ParChunks<'a, T> {
+        type Item = &'a [T];
+
+        fn next(&mut self) -> Option<Self::Item> {
+            self.inner.next()
+        }
+    }
+
+    /// Result of [`ParChunks::fold`]: the per-split accumulators awaiting
+    /// a `reduce`.
+    pub struct Folded<Acc> {
+        acc: Acc,
+    }
+
+    impl<Acc> Folded<Acc> {
+        /// Merges the per-split accumulators, mirroring
+        /// `ParallelIterator::reduce`. With one sequential split the fold
+        /// result is returned as-is; `reduce_op` must be the usual monoid
+        /// merge for parity with real rayon.
+        pub fn reduce<Id, F>(self, _identity: Id, _reduce_op: F) -> Acc
+        where
+            Id: Fn() -> Acc,
+            F: Fn(Acc, Acc) -> Acc,
+        {
+            self.acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1u64, 2, 3];
+        let doubled: Vec<u64> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn into_par_iter_collects_results() {
+        let v = vec![1u64, 2, 3];
+        let ok: Result<Vec<u64>, ()> = v.into_par_iter().map(Ok).collect();
+        assert_eq!(ok.unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slices_and_ranges_work() {
+        let s = [1u8, 2, 3];
+        assert_eq!(s.par_iter().copied().sum::<u8>(), 6);
+        assert_eq!((0u32..5).into_par_iter().count(), 5);
+    }
+}
