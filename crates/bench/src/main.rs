@@ -23,9 +23,12 @@
 //!   all       everything above
 //!
 //! options:
-//!   --scale F   dataset scale factor (default 0.1; 1.0 = paper sizes)
-//!   --out DIR   artifact directory (default results/)
-//!   --quick     coarse grids for smoke runs
+//!   --scale F    dataset scale factor (default 0.1; 1.0 = paper sizes)
+//!   --out DIR    artifact directory (default results/)
+//!   --quick      coarse grids for smoke runs
+//!   --threads N  worker threads for the submod_exec pool (default:
+//!                EXEC_NUM_THREADS or the available cores; results are
+//!                identical at any value — only wall-clock changes)
 //! ```
 
 mod common;
@@ -68,6 +71,15 @@ fn main() {
                     PathBuf::from(args.get(i).unwrap_or_else(|| die("--out expects a path")));
             }
             "--quick" => ctx.quick = true,
+            "--threads" => {
+                i += 1;
+                let threads: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| die("--threads expects a positive integer"));
+                submod_exec::set_num_threads(threads);
+            }
             other => die(&format!("unknown option `{other}`")),
         }
         i += 1;
@@ -128,7 +140,7 @@ fn run(experiment: &str, ctx: &BenchCtx) {
 fn print_usage() {
     println!(
         "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|all> \
-         [--scale F] [--out DIR] [--quick]"
+         [--scale F] [--out DIR] [--quick] [--threads N]"
     );
 }
 

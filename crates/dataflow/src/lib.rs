@@ -21,9 +21,14 @@
 //!   sort-merge. [`PipelineMetrics`] exposes spill counters so tests can
 //!   prove the budget held.
 //!
-//! Workers are simulated with a thread pool (the reproduction's stand-in
-//! for a cluster), but all data movement is mediated by the [`Record`]
-//! codec exactly as it would be across machines.
+//! Workers execute on the workspace's work-stealing pool
+//! (`submod_exec`, reached through the vendored `rayon` facade): shard
+//! transforms, the map and reduce sides of the shuffle, and spill/codec
+//! work all run concurrently, while all data movement stays mediated by
+//! the [`Record`] codec exactly as it would be across machines. Shuffle
+//! runs are sequence-tagged so every result — group contents included —
+//! is **bitwise-identical at any thread count** (`EXEC_NUM_THREADS`
+//! selects the pool size).
 //!
 //! # Example
 //!

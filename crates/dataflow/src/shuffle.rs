@@ -6,6 +6,11 @@
 //! grouped by an external sort-merge over sorted spill runs, so grouping
 //! works even when a single bucket is larger than memory — the property
 //! the paper's three-way bounding joins rely on (§5).
+//!
+//! Both shuffle sides run concurrently on the `submod_exec` pool. Runs
+//! are tagged with their (shard, sequence) origin and re-sorted before
+//! grouping, so the shuffle output — including the order of values
+//! inside each group — is bitwise-identical at any thread count.
 
 use crate::codec::{Either2, Either3, Record};
 use crate::pipeline::{Shard, ShardSink};
@@ -85,16 +90,25 @@ where
         };
 
         // --- Map side: partition every shard into per-bucket runs. ---
-        let bucket_runs: Vec<Mutex<Vec<Run<K, V>>>> =
+        // Shards are processed concurrently, so runs arrive in each
+        // bucket in completion order; every run is tagged with its
+        // (shard index, per-shard sequence) so the reduce side can
+        // restore the sequential order and keep group contents
+        // bitwise-identical at any thread count.
+        #[allow(clippy::type_complexity)] // (shard, seq)-tagged runs per bucket
+        let bucket_runs: Vec<Mutex<Vec<(usize, u64, Run<K, V>)>>> =
             (0..buckets).map(|_| Mutex::new(Vec::new())).collect();
 
-        self.shards()
-            .par_iter()
-            .map(|shard| {
+        let shards = self.shards();
+        (0..shards.len())
+            .into_par_iter()
+            .map(|shard_idx| {
+                let shard = &shards[shard_idx];
                 let mut buffers: Vec<Vec<(K, V)>> = (0..buckets).map(|_| Vec::new()).collect();
                 let mut buffer_bytes = vec![0u64; buckets];
                 let mut scratch = Vec::new();
                 let mut shuffled = 0u64;
+                let mut run_seq = 0u64;
                 shard.for_each(|(k, v)| {
                     let b = (stable_hash(&k, &mut scratch) % buckets as u64) as usize;
                     buffer_bytes[b] += (k.approx_bytes() + v.approx_bytes()) as u64;
@@ -107,10 +121,12 @@ where
                         }
                         let file = writer.finish()?;
                         ctx.metrics.record_spill(file.bytes);
+                        let run = Run { bytes: file.bytes, data: RunData::Disk(file) };
                         bucket_runs[b]
                             .lock()
                             .expect("bucket mutex")
-                            .push(Run { bytes: file.bytes, data: RunData::Disk(file) });
+                            .push((shard_idx, run_seq, run));
+                        run_seq += 1;
                         buffers[b].clear();
                         buffer_bytes[b] = 0;
                     }
@@ -121,10 +137,12 @@ where
                     if !buf.is_empty() {
                         let bytes = buffer_bytes[b];
                         ctx.metrics.observe_worker_bytes(bytes);
+                        let run = Run { bytes, data: RunData::Mem(buf) };
                         bucket_runs[b]
                             .lock()
                             .expect("bucket mutex")
-                            .push(Run { bytes, data: RunData::Mem(buf) });
+                            .push((shard_idx, run_seq, run));
+                        run_seq += 1;
                     }
                 }
                 Ok(())
@@ -136,7 +154,10 @@ where
         let grouped_shards: Vec<Vec<Shard<(K, Vec<V>)>>> = bucket_runs
             .into_par_iter()
             .map(|runs| {
-                let runs = runs.into_inner().expect("bucket mutex");
+                let mut tagged = runs.into_inner().expect("bucket mutex");
+                // Restore the deterministic sequential run order.
+                tagged.sort_by_key(|&(shard_idx, seq, _)| (shard_idx, seq));
+                let runs: Vec<Run<K, V>> = tagged.into_iter().map(|(_, _, run)| run).collect();
                 let total_bytes: u64 = runs.iter().map(|r| r.bytes).sum();
                 let mut sink = ShardSink::new(&ctx);
                 if !ctx.budget.exceeded_by(total_bytes) {

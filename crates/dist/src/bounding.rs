@@ -268,27 +268,34 @@ pub fn bound_in_memory(
     config: &BoundingConfig,
 ) -> Result<BoundingOutcome, DistError> {
     validate(graph, objective, k)?;
-    run_bounding(graph, objective, k, config, |state, undecided| {
-        // Neighbor contributions accumulate in ascending-neighbor order —
-        // the dataflow driver sorts its join outputs the same way, so the
-        // two produce bitwise-identical sums.
-        Ok(undecided
-            .iter()
-            .map(|&v| {
-                let mut min_penalty = 0.0f64;
-                let mut max_penalty = 0.0f64;
-                for (w, s) in graph.edges(v) {
-                    if !state.excluded.contains(w) {
-                        min_penalty += f64::from(s);
+    run_bounding(
+        graph,
+        objective,
+        k,
+        config,
+        |state, undecided| {
+            // Neighbor contributions accumulate in ascending-neighbor
+            // order — the dataflow driver sorts its join outputs the same
+            // way, so the two produce bitwise-identical sums.
+            Ok(undecided
+                .iter()
+                .map(|&v| {
+                    let mut min_penalty = 0.0f64;
+                    let mut max_penalty = 0.0f64;
+                    for (w, s) in graph.edges(v) {
+                        if !state.excluded.contains(w) {
+                            min_penalty += f64::from(s);
+                        }
+                        if state.included.contains(w) {
+                            max_penalty += f64::from(s);
+                        }
                     }
-                    if state.included.contains(w) {
-                        max_penalty += f64::from(s);
-                    }
-                }
-                Bounds { node: v.raw(), min_penalty, max_penalty }
-            })
-            .collect())
-    })
+                    Bounds { node: v.raw(), min_penalty, max_penalty }
+                })
+                .collect())
+        },
+        |sample, index| Ok(kth_largest_in_memory(&mut sample.to_vec(), index)),
+    )
 }
 
 /// Runs bounding on the dataflow engine: neighbor fan-out, the three-way
@@ -309,9 +316,33 @@ pub fn bound_dataflow(
     config: &BoundingConfig,
 ) -> Result<BoundingOutcome, DistError> {
     validate(graph, objective, k)?;
-    run_bounding(graph, objective, k, config, |state, undecided| {
-        bounds_via_pipeline(pipeline, graph, state, undecided)
-    })
+    run_bounding(
+        graph,
+        objective,
+        k,
+        config,
+        |state, undecided| bounds_via_pipeline(pipeline, graph, state, undecided),
+        |sample, index| {
+            // The threshold is an order statistic of the sampled bound
+            // values; select it with the engine's O(1)-worker-memory
+            // `kth_largest` (bit-bisection over counting passes) instead
+            // of a driver-side sort. The bisection lands exactly on the
+            // attained element, so the value matches the in-memory sort
+            // bit for bit — `run_bounding` stays driver-agnostic.
+            //
+            // Honest scope note: the sample itself is assembled on the
+            // driver (the decision code is shared with the in-memory
+            // driver, which is what guarantees outcome equality), so
+            // this moves the *selection* onto the engine, not the
+            // table. Keeping the bound table engine-resident end to end
+            // is a tracked ROADMAP item.
+            if index == 0 || sample.is_empty() {
+                return Ok(None);
+            }
+            let sampled = pipeline.from_vec(sample.to_vec());
+            Ok(Some(sampled.kth_largest(index as u64)?))
+        },
+    )
 }
 
 /// One pass of penalty computation on the engine (the §5 pipeline shape).
@@ -382,17 +413,22 @@ fn bounds_via_pipeline(
 }
 
 /// The shared grow/shrink driver. `compute_bounds` produces the per-pass
-/// bound table for the current undecided set; everything downstream of it
-/// is common, which is what guarantees in-memory/dataflow equality.
-fn run_bounding<F>(
+/// bound table for the current undecided set and `select_threshold`
+/// picks the 1-based `index`-th largest of a sampled statistic (`None`
+/// when the sample is empty); everything downstream is common, which is
+/// what guarantees in-memory/dataflow equality — both drivers feed the
+/// same samples and both selectors return the attained element exactly.
+fn run_bounding<F, S>(
     graph: &SimilarityGraph,
     objective: &PairwiseObjective,
     k: usize,
     config: &BoundingConfig,
     mut compute_bounds: F,
+    mut select_threshold: S,
 ) -> Result<BoundingOutcome, DistError>
 where
     F: FnMut(&State, &[NodeId]) -> Result<Vec<Bounds>, DistError>,
+    S: FnMut(&[f64], usize) -> Result<Option<f64>, DistError>,
 {
     let n = graph.num_nodes();
     let mean_utility =
@@ -418,7 +454,7 @@ where
         pass += 1;
         let k_rem = state.k_remaining();
         let derived = derive(&bounds, objective, k_rem, undecided.len());
-        let mut sample: Vec<f64> = derived
+        let sample: Vec<f64> = derived
             .iter()
             .filter(|b| {
                 in_sample(
@@ -433,7 +469,7 @@ where
             .map(|b| b.umax)
             .collect();
         let index = threshold_index(&config.mode, k_rem, sample.len());
-        if let Some(threshold) = kth_largest_in_memory(&mut sample, index) {
+        if let Some(threshold) = select_threshold(&sample, index)? {
             for node in decide_grow(&derived, threshold, k_rem) {
                 state.included.insert(NodeId::new(node));
                 changed = true;
@@ -454,7 +490,7 @@ where
         let k_rem = state.k_remaining();
         let exact = config.is_exact();
         let derived = derive(&bounds, objective, k_rem, undecided.len());
-        let mut sample: Vec<f64> = derived
+        let sample: Vec<f64> = derived
             .iter()
             .filter(|b| {
                 in_sample(
@@ -472,7 +508,7 @@ where
         // approximate one keeps a SAFETY_POOL_FACTOR·k expected-best pool.
         let k_effective = if exact { k_rem } else { SAFETY_POOL_FACTOR * k_rem };
         let index = threshold_index(&config.mode, k_effective, sample.len());
-        if let Some(threshold) = kth_largest_in_memory(&mut sample, index) {
+        if let Some(threshold) = select_threshold(&sample, index)? {
             let max_excludable = undecided.len().saturating_sub(k_rem);
             for node in decide_shrink(&derived, exact, threshold, max_excludable) {
                 state.excluded.insert(NodeId::new(node));

@@ -76,11 +76,17 @@ pub fn greedi(
     }
     let chunk = n.div_ceil(machines).max(1);
 
-    // Map phase: every machine solves its partition for the full budget.
+    // Map phase: every machine solves its partition for the full budget,
+    // all machines concurrently on the pool; the union is assembled in
+    // partition order so the merge input is identical at any thread
+    // count.
+    let partitions: Vec<Vec<NodeId>> = ids.chunks(chunk).map(<[NodeId]>::to_vec).collect();
+    let locals = submod_exec::parallel_map_result(partitions, |mut part| {
+        machine_select(graph, objective, &mut part, k)
+    })?;
     let mut union: Vec<NodeId> = Vec::with_capacity(machines * k.min(chunk));
-    for part in ids.chunks(chunk) {
-        let mut part = part.to_vec();
-        union.extend(machine_select(graph, objective, &mut part, k)?);
+    for chosen in locals {
+        union.extend(chosen);
     }
 
     // Merge phase: one machine holds the whole union and re-runs greedy.

@@ -4,7 +4,9 @@
 //! machines; every machine runs the centralized priority-queue greedy on
 //! the *induced subgraph* of its partition (cross-partition edges are
 //! discarded — the information loss the multi-round structure exists to
-//! repair) and keeps its share of the round's Δ target. The union of the
+//! repair) and keeps its share of the round's Δ target. Machines execute
+//! concurrently on the `submod_exec` pool, with outputs merged in
+//! partition order so selections are identical at any thread count. The union of the
 //! machine outputs is the next round's pool, so the pool shrinks from
 //! `n` toward `k` along the [`DeltaSchedule`], and no machine ever holds
 //! more than one round-1 partition (`⌈n/m⌉` points) — the §2 systems
@@ -215,9 +217,15 @@ pub fn distributed_greedy(
         let partitions = round_partitions(config, pool.len(), capacity);
         let buckets = assign_partitions(&pool, partitions, round, config, &mut rng);
         let quota = target.div_ceil(partitions);
+        // Every machine of the round runs concurrently on the pool;
+        // results are merged in partition order, so the outcome is
+        // identical to the sequential loop at any thread count.
+        let machine_outputs = submod_exec::parallel_map_result(buckets, |mut bucket| {
+            machine_select(graph, objective, &mut bucket, quota)
+        })?;
         let mut next = Vec::with_capacity(partitions * quota);
-        for mut bucket in buckets {
-            next.extend(machine_select(graph, objective, &mut bucket, quota)?);
+        for chosen in machine_outputs {
+            next.extend(chosen);
         }
         rounds.push(RoundStats { round, input_size, target, partitions, output_size: next.len() });
         pool = next;

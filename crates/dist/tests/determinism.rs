@@ -1,0 +1,190 @@
+//! Thread-count invariance for the distributed selection algorithms:
+//! the pool may use 1, 2, or 8 workers, but every selection — in-memory
+//! or dataflow, bounding or greedy — must be **bitwise identical**.
+//!
+//! This is the contract that makes the parallel runtime safe to adopt:
+//! `submod_exec` merges machine outputs in partition order and the
+//! dataflow engine sequence-tags its shuffle runs, so no floating-point
+//! sum or tie-break ever depends on scheduling.
+
+use proptest::prelude::*;
+use submod_core::{GraphBuilder, NodeId, PairwiseObjective, SimilarityGraph};
+use submod_dataflow::Pipeline;
+use submod_dist::{
+    bound_dataflow, bound_in_memory, distributed_greedy, distributed_greedy_dataflow, greedi,
+    select_subset, BoundingConfig, DistGreedyConfig, PartitionStyle, PipelineConfig,
+    SamplingStrategy,
+};
+use submod_exec::with_threads;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Runs `f` at 1, 2, and 8 pool threads and asserts identical results.
+fn invariant<R: PartialEq + std::fmt::Debug>(what: &str, f: impl Fn() -> R) -> R {
+    let reference = with_threads(THREAD_COUNTS[0], &f);
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = with_threads(threads, &f);
+        assert_eq!(got, reference, "{what} changed at {threads} threads");
+    }
+    reference
+}
+
+/// A deterministic pseudo-random instance (splitmix-style weights).
+fn instance(n: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
+    let mut b = GraphBuilder::new(n);
+    let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    for v in 0..n as u64 {
+        for _ in 0..3 {
+            let w = next() % n as u64;
+            if w != v {
+                let s = 0.05 + (next() % 900) as f32 / 1000.0;
+                b.add_undirected(v, w, s).expect("edge");
+            }
+        }
+    }
+    let graph = b.build();
+    let utilities: Vec<f32> = (0..n).map(|_| 0.1 + (next() % 900) as f32 / 1000.0).collect();
+    let objective = PairwiseObjective::from_alpha(0.85, utilities).expect("objective");
+    (graph, objective)
+}
+
+fn ground(n: usize) -> Vec<NodeId> {
+    (0..n).map(NodeId::from_index).collect()
+}
+
+/// Selections as raw ids plus the objective value's exact bits.
+fn fingerprint(selection: &submod_core::Selection) -> (Vec<u64>, u64) {
+    (selection.selected().iter().map(|v| v.raw()).collect(), selection.objective_value().to_bits())
+}
+
+#[test]
+fn multiround_greedy_is_thread_count_invariant() {
+    let (graph, objective) = instance(120, 7);
+    invariant("multi-round distributed greedy", || {
+        let config = DistGreedyConfig::new(6, 4).expect("config").seed(11).adaptive(true);
+        let report =
+            distributed_greedy(&graph, &objective, &ground(120), 18, &config).expect("run");
+        (fingerprint(&report.selection), report.rounds)
+    });
+}
+
+#[test]
+fn dataflow_greedy_is_thread_count_invariant() {
+    let (graph, objective) = instance(90, 3);
+    invariant("dataflow distributed greedy", || {
+        let pipeline = Pipeline::new(4).expect("pipeline");
+        let config = DistGreedyConfig::new(5, 3).expect("config").seed(23);
+        let report =
+            distributed_greedy_dataflow(&pipeline, &graph, &objective, &ground(90), 12, &config)
+                .expect("run");
+        (fingerprint(&report.selection), report.rounds)
+    });
+}
+
+#[test]
+fn greedi_is_thread_count_invariant() {
+    let (graph, objective) = instance(100, 13);
+    for style in [PartitionStyle::Arbitrary, PartitionStyle::Random] {
+        invariant("GreeDi", || {
+            let report = greedi(&graph, &objective, 10, 4, style, 5).expect("run");
+            (fingerprint(&report.selection), report.merge.union_size)
+        });
+    }
+}
+
+#[test]
+fn bounding_is_thread_count_invariant_and_dataflow_matches() {
+    let (graph, objective) = instance(80, 29);
+    for config in [
+        BoundingConfig::exact(),
+        BoundingConfig::approximate(0.5, SamplingStrategy::Uniform, 3).expect("config"),
+        BoundingConfig::approximate(0.4, SamplingStrategy::Weighted, 9).expect("config"),
+    ] {
+        invariant("bounding (both drivers)", || {
+            let mem = bound_in_memory(&graph, &objective, 12, &config).expect("in-memory");
+            let pipeline = Pipeline::new(3).expect("pipeline");
+            let df = bound_dataflow(&pipeline, &graph, &objective, 12, &config).expect("dataflow");
+            // The two drivers must agree with each other *and* across
+            // thread counts.
+            assert_eq!(mem, df, "drivers diverged");
+            mem
+        });
+    }
+}
+
+#[test]
+fn full_selection_pipeline_is_thread_count_invariant() {
+    let (graph, objective) = instance(110, 41);
+    invariant("select_subset (bounding + multi-round greedy)", || {
+        let config = PipelineConfig::with_bounding(
+            BoundingConfig::approximate(0.4, SamplingStrategy::Uniform, 2).expect("bounding"),
+            DistGreedyConfig::new(4, 3).expect("greedy").seed(17).adaptive(true),
+        );
+        let outcome = select_subset(&graph, &objective, 15, &config).expect("run");
+        fingerprint(&outcome.selection)
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random machines/rounds/budget: the multi-round driver must be
+    /// schedule-independent on every configuration, not just the
+    /// hand-picked ones above.
+    #[test]
+    fn random_configs_are_thread_count_invariant(
+        seed in 0u64..500,
+        machines in 1usize..8,
+        rounds in 1usize..5,
+        k in 4usize..20,
+    ) {
+        let (graph, objective) = instance(60, seed);
+        let fingerprints: Vec<(Vec<u64>, u64)> = THREAD_COUNTS
+            .iter()
+            .map(|&threads| {
+                with_threads(threads, || {
+                    let config = DistGreedyConfig::new(machines, rounds)
+                        .expect("config")
+                        .seed(seed);
+                    let report = distributed_greedy(&graph, &objective, &ground(60), k, &config)
+                        .expect("run");
+                    fingerprint(&report.selection)
+                })
+            })
+            .collect();
+        prop_assert_eq!(&fingerprints[0], &fingerprints[1]);
+        prop_assert_eq!(&fingerprints[0], &fingerprints[2]);
+    }
+
+    /// Random bounding configurations: exact/approximate, both drivers,
+    /// every thread count — one outcome.
+    #[test]
+    fn random_bounding_is_thread_count_invariant(
+        seed in 0u64..500,
+        k in 2usize..16,
+        p in 0.2f64..0.9,
+    ) {
+        let (graph, objective) = instance(50, seed);
+        let config = BoundingConfig::approximate(p, SamplingStrategy::Uniform, seed)
+            .expect("config");
+        let outcomes: Vec<_> = THREAD_COUNTS
+            .iter()
+            .map(|&threads| {
+                with_threads(threads, || {
+                    let mem = bound_in_memory(&graph, &objective, k, &config).expect("mem");
+                    let pipeline = Pipeline::new(3).expect("pipeline");
+                    let df = bound_dataflow(&pipeline, &graph, &objective, k, &config)
+                        .expect("dataflow");
+                    assert_eq!(mem, df, "drivers diverged");
+                    mem
+                })
+            })
+            .collect();
+        prop_assert_eq!(&outcomes[0], &outcomes[1]);
+        prop_assert_eq!(&outcomes[0], &outcomes[2]);
+    }
+}

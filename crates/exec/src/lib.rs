@@ -1,0 +1,75 @@
+//! # submod_exec — the workspace's parallel runtime
+//!
+//! A dependency-free work-stealing thread pool built on `std::thread`,
+//! powering every "worker" in the reproduction: the dataflow engine's
+//! shard transforms and shuffles, the k-NN graph build, and the
+//! per-machine rounds of the distributed greedy algorithms. The vendored
+//! `rayon` shim delegates its `par_iter` / `join` / `scope` surface here,
+//! so crates written against the rayon API run on this pool unchanged.
+//!
+//! ## Execution model
+//!
+//! Parallel regions are *scoped*: [`scope`] (and the [`parallel_map`] /
+//! [`join`] conveniences built on it) spawns its workers with
+//! [`std::thread::scope`], so tasks may borrow from the enclosing stack
+//! frame — no `'static` bounds, no `unsafe`. Inside a region:
+//!
+//! - every worker owns a local deque seeded round-robin at spawn time;
+//! - tasks spawned *from inside a task* land in a shared global injector;
+//! - an idle worker pops its own deque first, then the injector, then
+//!   steals from the back of a sibling's deque;
+//! - a panicking task poisons the region: queued tasks are drained and
+//!   dropped, and the first captured payload is re-raised on the caller's
+//!   thread once every worker has finished
+//!   ([`std::panic::resume_unwind`]).
+//!
+//! Nested regions (a task that itself calls [`parallel_map`] or [`join`])
+//! execute inline on the calling worker, so nesting composes without
+//! thread explosion and without deadlock.
+//!
+//! ## Determinism
+//!
+//! All combinators preserve *submission order* when materializing
+//! results: [`parallel_map`] writes each chunk's output into a dedicated
+//! slot and concatenates the slots in index order, regardless of which
+//! worker executed what and when. Floating-point reductions built on the
+//! pool therefore produce **bitwise-identical** results at any thread
+//! count — the property the distributed-vs-centralized equivalence tests
+//! assert at 1, 2, and 8 threads.
+//!
+//! ## Sizing the pool
+//!
+//! The per-region worker count resolves, in order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (used by
+//!    tests so they can pin a count without racing each other);
+//! 2. the process-wide count from [`set_num_threads`] (the `experiments`
+//!    binary's `--threads N` flag lands here);
+//! 3. the `EXEC_NUM_THREADS` environment variable;
+//! 4. [`std::thread::available_parallelism`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+mod threads;
+
+pub use pool::{join, parallel_map, parallel_map_result, scope, steal_count, Scope};
+pub use threads::{current_num_threads, in_worker, set_num_threads, with_threads};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let out = with_threads(4, || parallel_map((0..1000u64).collect(), |x| x * 2));
+        assert_eq!(out, (0..1000u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = with_threads(2, || join(|| 1 + 1, || "two"));
+        assert_eq!((a, b), (2, "two"));
+    }
+}

@@ -1,0 +1,359 @@
+//! The work-stealing region runner: [`scope`], [`join`], and
+//! [`parallel_map`].
+//!
+//! A *region* is one `std::thread::scope` worth of workers servicing a
+//! fixed family of tasks. The caller's thread always participates as
+//! worker 0, so a region with `t` threads spawns only `t − 1` OS
+//! threads, and a region entered with one thread (or from inside another
+//! region) runs inline with zero spawns.
+
+use crate::threads::{current_num_threads, enter_worker, in_worker};
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Tasks per worker that [`parallel_map`] aims for: small enough that an
+/// uneven workload leaves chunks to steal, large enough that queue
+/// traffic stays negligible.
+const CHUNKS_PER_WORKER: usize = 4;
+
+/// Cumulative count of successful steals across all regions in this
+/// process (a task taken from *another* worker's deque, not from the
+/// global injector). Exposed for the pool's own tests and for ad-hoc
+/// diagnostics; never used for control flow.
+static STEALS: AtomicU64 = AtomicU64::new(0);
+
+/// See [`STEALS`].
+pub fn steal_count() -> u64 {
+    STEALS.load(Ordering::Relaxed)
+}
+
+/// A queued task: boxed so heterogeneous closures share one deque. The
+/// task receives the scope so it can spawn follow-up work (which lands in
+/// the global injector).
+type Job<'scope> = Box<dyn for<'a> FnOnce(&'a Scope<'scope>) + Send + 'scope>;
+
+/// A parallel region accepting scoped task spawns — the pool analogue of
+/// `rayon::Scope`.
+///
+/// Tasks spawned before the region starts (from the `scope` closure) are
+/// seeded round-robin across per-worker deques; tasks spawned *by tasks*
+/// go to the shared injector. Execution begins when the `scope` closure
+/// returns and [`scope`] only returns once every task (including
+/// recursively spawned ones) has finished.
+pub struct Scope<'scope> {
+    threads: usize,
+    /// Inline regions (one thread, or nested inside a worker) execute
+    /// tasks immediately on `spawn`.
+    inline: bool,
+    injector: Mutex<VecDeque<Job<'scope>>>,
+    locals: Vec<Mutex<VecDeque<Job<'scope>>>>,
+    /// Tasks spawned but not yet completed (or dropped by poisoning).
+    outstanding: AtomicUsize,
+    /// Round-robin cursor for seeding pre-region spawns.
+    seed_cursor: AtomicUsize,
+    /// Set when a task panicked: queued tasks are drained and dropped.
+    poisoned: AtomicBool,
+    /// First captured panic payload, re-raised after the region parks.
+    panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    fn new(threads: usize, inline: bool) -> Self {
+        Scope {
+            threads,
+            inline,
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            outstanding: AtomicUsize::new(0),
+            seed_cursor: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        }
+    }
+
+    /// Queues `f` for execution in this region. The closure receives the
+    /// scope again so it can spawn follow-up tasks.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope>) + Send + 'scope,
+    {
+        if self.inline {
+            f(self);
+            return;
+        }
+        self.outstanding.fetch_add(1, Ordering::SeqCst);
+        let job: Job<'scope> = Box::new(f);
+        if in_worker() {
+            // Spawned from inside a task: every worker may pick it up.
+            self.injector.lock().expect("injector").push_back(job);
+        } else {
+            let w = self.seed_cursor.fetch_add(1, Ordering::Relaxed) % self.threads;
+            self.locals[w].lock().expect("local deque").push_back(job);
+        }
+    }
+
+    /// Runs the region to completion: the calling thread becomes worker 0
+    /// and scoped OS threads are spawned alongside it — at most
+    /// `threads − 1`, and never more than the queued tasks could occupy
+    /// (a two-task `join` on an 8-thread pool spawns one thread, not 7).
+    fn run(&self) {
+        let queued = self.outstanding.load(Ordering::SeqCst);
+        if queued == 0 {
+            return;
+        }
+        let workers = self.threads.min(queued);
+        std::thread::scope(|ts| {
+            for w in 1..workers {
+                ts.spawn(move || self.work(w));
+            }
+            self.work(0);
+        });
+    }
+
+    /// Re-raises the first captured task panic, if any.
+    fn rethrow(&self) {
+        if let Some(payload) = self.panic.lock().expect("panic slot").take() {
+            panic::resume_unwind(payload);
+        }
+    }
+
+    /// One worker's service loop: own deque first, then the injector,
+    /// then steal from a sibling; exit once nothing is outstanding.
+    fn work(&self, me: usize) {
+        let _guard = enter_worker();
+        // Consecutive empty polls; drives the idle backoff below.
+        let mut idle_polls = 0u32;
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                self.drain();
+            }
+            if self.outstanding.load(Ordering::SeqCst) == 0 {
+                return;
+            }
+            match self.next_job(me) {
+                Some(job) => {
+                    idle_polls = 0;
+                    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| job(self))) {
+                        self.panic.lock().expect("panic slot").get_or_insert(payload);
+                        self.poisoned.store(true, Ordering::SeqCst);
+                    }
+                    self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                }
+                None => {
+                    // Another worker still runs a task that may spawn
+                    // follow-ups, so this worker cannot exit yet. Yield
+                    // a few times for low-latency pickup, then back off
+                    // to short sleeps so a long-tail task does not pin
+                    // every idle worker at 100 % CPU.
+                    idle_polls += 1;
+                    if idle_polls < 16 {
+                        std::thread::yield_now();
+                    } else {
+                        std::thread::sleep(std::time::Duration::from_micros(100));
+                    }
+                }
+            }
+        }
+    }
+
+    fn next_job(&self, me: usize) -> Option<Job<'scope>> {
+        if let Some(job) = self.locals[me].lock().expect("local deque").pop_front() {
+            return Some(job);
+        }
+        if let Some(job) = self.injector.lock().expect("injector").pop_front() {
+            return Some(job);
+        }
+        for offset in 1..self.threads {
+            let victim = (me + offset) % self.threads;
+            if let Some(job) = self.locals[victim].lock().expect("victim deque").pop_back() {
+                STEALS.fetch_add(1, Ordering::Relaxed);
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Drops every queued task after a poisoning panic.
+    fn drain(&self) {
+        let mut dropped = 0usize;
+        for queue in self.locals.iter().chain(std::iter::once(&self.injector)) {
+            let mut queue = queue.lock().expect("drain queue");
+            dropped += queue.len();
+            queue.clear();
+        }
+        if dropped > 0 {
+            self.outstanding.fetch_sub(dropped, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Creates a parallel region, hands it to `f` for task spawning, runs
+/// every spawned task to completion, and returns `f`'s result.
+///
+/// Tasks may borrow from the caller's stack (the region is serviced with
+/// `std::thread::scope`) and may spawn further tasks through the scope
+/// reference they receive. If any task panics, remaining queued tasks are
+/// dropped and the first panic payload is re-raised here.
+///
+/// ```
+/// let counter = std::sync::atomic::AtomicUsize::new(0);
+/// submod_exec::scope(|s| {
+///     for _ in 0..4 {
+///         s.spawn(|_| {
+///             counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+///         });
+///     }
+/// });
+/// assert_eq!(counter.into_inner(), 4);
+/// ```
+pub fn scope<'scope, F, R>(f: F) -> R
+where
+    F: FnOnce(&Scope<'scope>) -> R,
+{
+    let threads = current_num_threads().max(1);
+    let inline = threads == 1 || in_worker();
+    let sc = Scope::new(threads, inline);
+    let out = f(&sc);
+    if !inline {
+        sc.run();
+        sc.rethrow();
+    }
+    out
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results —
+/// the pool analogue of `rayon::join`. Inside a worker (nested use) both
+/// closures run inline on the current thread, in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || in_worker() {
+        return (a(), b());
+    }
+    let slot_a: Mutex<Option<RA>> = Mutex::new(None);
+    let slot_b: Mutex<Option<RB>> = Mutex::new(None);
+    scope(|s| {
+        s.spawn(|_| *slot_a.lock().expect("join slot a") = Some(a()));
+        s.spawn(|_| *slot_b.lock().expect("join slot b") = Some(b()));
+    });
+    (
+        slot_a.into_inner().expect("join slot a").expect("join task a completed"),
+        slot_b.into_inner().expect("join slot b").expect("join task b completed"),
+    )
+}
+
+/// Applies `f` to every item on the pool and returns the results **in
+/// input order**, regardless of scheduling — the deterministic-reduction
+/// primitive everything else builds on.
+///
+/// Items are split into at most `threads × 4` contiguous chunks; each
+/// chunk writes its output into a dedicated slot and the slots are
+/// concatenated in chunk order, so the output (including any
+/// floating-point reduction applied to it afterwards) is bitwise
+/// independent of the thread count.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads().max(1);
+    if threads == 1 || in_worker() || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    let chunk_count = (threads * CHUNKS_PER_WORKER).min(n).max(1);
+    let chunk_size = n.div_ceil(chunk_count);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(chunk_count);
+    let mut items = items.into_iter();
+    loop {
+        let chunk: Vec<T> = items.by_ref().take(chunk_size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    let slots: Vec<Mutex<Option<Vec<R>>>> = (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+    let f = &f;
+    scope(|s| {
+        for (slot, chunk) in slots.iter().zip(chunks) {
+            s.spawn(move |_| {
+                let out: Vec<R> = chunk.into_iter().map(f).collect();
+                *slot.lock().expect("result slot") = Some(out);
+            });
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for slot in slots {
+        out.extend(slot.into_inner().expect("slot mutex").expect("chunk completed"));
+    }
+    out
+}
+
+/// [`parallel_map`] for fallible work: every item is attempted, then the
+/// first error **in input order** is returned (deterministic at any
+/// thread count, unlike a first-to-fail race).
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed item whose closure failed.
+pub fn parallel_map_result<T, R, E, F>(items: Vec<T>, f: F) -> Result<Vec<R>, E>
+where
+    T: Send,
+    R: Send,
+    E: Send,
+    F: Fn(T) -> Result<R, E> + Sync,
+{
+    parallel_map(items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::with_threads;
+
+    #[test]
+    fn inline_region_runs_on_spawn() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        with_threads(1, || {
+            let hits = AtomicUsize::new(0);
+            scope(|s| {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                // Inline spawns execute immediately, in order.
+                assert_eq!(hits.load(Ordering::SeqCst), 1);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+            assert_eq!(hits.into_inner(), 2);
+        });
+    }
+
+    #[test]
+    fn empty_scope_is_a_no_op() {
+        with_threads(8, || scope(|_| {}));
+    }
+
+    #[test]
+    fn parallel_map_result_returns_first_error_by_index() {
+        let out: Result<Vec<u32>, String> = with_threads(4, || {
+            parallel_map_result((0u32..100).collect(), |x| {
+                if x % 30 == 7 {
+                    Err(format!("bad {x}"))
+                } else {
+                    Ok(x)
+                }
+            })
+        });
+        assert_eq!(out.unwrap_err(), "bad 7");
+    }
+}

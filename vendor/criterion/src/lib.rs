@@ -11,11 +11,21 @@
 //! maximum wall-clock per iteration are printed. There is no statistical
 //! regression analysis — the workspace uses benches for relative
 //! comparisons, which min/mean/max support.
+//!
+//! ## Machine-readable baselines
+//!
+//! When the `CRITERION_OUTPUT_JSON` environment variable names a file,
+//! every result is *also* appended there as one JSON object per line
+//! (`group`, `id`, `mean_ns`, `min_ns`, `max_ns`, `samples`). CI points
+//! it at `BENCH_pr2.json` so the workspace accumulates a per-PR
+//! performance trajectory; appending keeps the scheme safe across the
+//! several bench binaries `cargo bench` launches.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
 use std::hint;
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Opaque-to-the-optimizer identity function, mirroring
@@ -138,6 +148,42 @@ fn report(group: &str, id: &str, results: &[Duration]) {
     let min = results.iter().min().expect("non-empty");
     let max = results.iter().max().expect("non-empty");
     println!("{group}/{id}: mean {mean:?} (min {min:?}, max {max:?}, {} samples)", results.len());
+    if let Ok(path) = std::env::var("CRITERION_OUTPUT_JSON") {
+        if !path.is_empty() {
+            if let Err(err) = append_json(&path, group, id, mean, *min, *max, results.len()) {
+                eprintln!("warning: could not append bench record to {path}: {err}");
+            }
+        }
+    }
+}
+
+/// Appends one JSON-lines record to the baseline file (see the crate
+/// docs); best-effort, never fails the benchmark.
+fn append_json(
+    path: &str,
+    group: &str,
+    id: &str,
+    mean: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+    writeln!(
+        file,
+        "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{},\"samples\":{}}}",
+        json_escape(group),
+        json_escape(id),
+        mean.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+        samples
+    )
+}
+
+/// Escapes the characters that can actually occur in benchmark names.
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// The benchmark manager, mirroring `criterion::Criterion`.
@@ -205,5 +251,40 @@ mod tests {
     fn benchmark_ids_render() {
         assert_eq!(BenchmarkId::new("f", 32).into_id(), "f/32");
         assert_eq!(BenchmarkId::from_parameter("x").into_id(), "x");
+    }
+
+    #[test]
+    fn json_records_append_and_escape() {
+        let dir = std::env::temp_dir().join(format!("criterion-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("baseline.json");
+        let results = [Duration::from_nanos(100), Duration::from_nanos(300)];
+        append_json(
+            path.to_str().unwrap(),
+            "group \"q\"",
+            "bench/32",
+            Duration::from_nanos(200),
+            results[0],
+            results[1],
+            results.len(),
+        )
+        .unwrap();
+        append_json(
+            path.to_str().unwrap(),
+            "g",
+            "b",
+            Duration::from_nanos(5),
+            Duration::from_nanos(4),
+            Duration::from_nanos(6),
+            1,
+        )
+        .unwrap();
+        let contents = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = contents.lines().collect();
+        assert_eq!(lines.len(), 2, "records append, one per line");
+        assert!(lines[0].contains("\\\"q\\\""), "quotes escaped: {}", lines[0]);
+        assert!(lines[0].contains("\"mean_ns\":200"));
+        assert!(lines[1].contains("\"samples\":1"));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

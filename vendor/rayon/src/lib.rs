@@ -1,111 +1,233 @@
-//! A minimal, dependency-free, API-compatible subset of the `rayon` crate.
+//! A minimal, API-compatible subset of the `rayon` crate, executing on
+//! the workspace's own work-stealing pool ([`submod_exec`]).
 //!
 //! The build environment has no access to a crates.io registry, so this
-//! vendored crate provides the `par_iter` / `into_par_iter` entry points
-//! the workspace uses. The returned iterators are the ordinary sequential
-//! `std` iterators, so every adapter (`map`, `filter`, fallible
-//! `collect`, …) keeps working unchanged.
+//! vendored crate provides the `par_iter` / `into_par_iter` / `join` /
+//! `scope` entry points the workspace uses. Until PR 2 the returned
+//! iterators were ordinary sequential `std` iterators; they now delegate
+//! to [`submod_exec`], so every call site runs genuinely parallel while
+//! keeping `rayon`'s signatures.
 //!
-//! Rationale: the dataflow engine's "workers" are a *simulation* of a
-//! cluster — its tests assert memory budgets, spill accounting, and result
-//! equivalence, none of which depend on wall-clock parallelism. A
-//! thread-pool drop-in can replace this shim without touching callers
-//! (the signatures match `rayon`'s).
+//! ## Determinism
+//!
+//! All adapters materialize results in **input order** (see
+//! [`submod_exec::parallel_map`]), and [`prelude::ParChunks::fold`]
+//! assigns chunks to a *fixed* number of splits independent of the
+//! thread count, so outputs — including floating-point reductions — are
+//! bitwise-identical at any `EXEC_NUM_THREADS`.
 
 #![forbid(unsafe_code)]
+
+pub use submod_exec::{current_num_threads, join, scope};
 
 /// The `rayon::prelude` analogue: import to get `.par_iter()` and
 /// `.into_par_iter()` on the standard collections.
 pub mod prelude {
-    /// Conversion into a (sequentially executed) parallel iterator.
-    ///
-    /// Mirrors `rayon::iter::IntoParallelIterator`, backed by the type's
-    /// ordinary `IntoIterator` implementation.
-    pub trait IntoParallelIterator: IntoIterator + Sized {
-        /// Returns an iterator over owned items.
-        fn into_par_iter(self) -> Self::IntoIter {
-            self.into_iter()
+    use std::iter::Sum;
+
+    /// Number of fold splits used by [`ParChunks::fold`]. A constant
+    /// (rather than the thread count) so the grouping of partial
+    /// accumulators — and therefore any floating-point reduction — does
+    /// not depend on pool sizing.
+    const FOLD_SPLITS: usize = 16;
+
+    /// Conversion into a pool-executed parallel iterator, mirroring
+    /// `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator: IntoIterator + Sized
+    where
+        Self::Item: Send,
+    {
+        /// Returns a parallel iterator over owned items.
+        fn into_par_iter(self) -> ParIter<Self::Item> {
+            ParIter { items: self.into_iter().collect() }
         }
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {}
+    impl<I: IntoIterator> IntoParallelIterator for I where I::Item: Send {}
 
     /// Borrowing conversion, mirroring
     /// `rayon::iter::IntoParallelRefIterator`.
     pub trait IntoParallelRefIterator<'a> {
-        /// The borrowed iterator type.
-        type Iter: Iterator;
+        /// The borrowed item type.
+        type Item: Send;
 
-        /// Returns an iterator over `&T` items.
-        fn par_iter(&'a self) -> Self::Iter;
+        /// Returns a parallel iterator over `&T` items.
+        fn par_iter(&'a self) -> ParIter<Self::Item>;
     }
 
     impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
     where
         &'a C: IntoIterator,
+        <&'a C as IntoIterator>::Item: Send,
     {
-        type Iter = <&'a C as IntoIterator>::IntoIter;
+        type Item = <&'a C as IntoIterator>::Item;
 
-        fn par_iter(&'a self) -> Self::Iter {
-            self.into_iter()
+        fn par_iter(&'a self) -> ParIter<Self::Item> {
+            ParIter { items: self.into_iter().collect() }
+        }
+    }
+
+    /// A materialized parallel iterator: adapters are lazy, terminal
+    /// operations execute on the [`submod_exec`] pool.
+    pub struct ParIter<T> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParIter<T> {
+        /// Maps every item through `f`, mirroring
+        /// `ParallelIterator::map`.
+        pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+        where
+            R: Send,
+            F: Fn(T) -> R + Sync,
+        {
+            ParMap { items: self.items, f }
+        }
+
+        /// Number of items, mirroring `ParallelIterator::count`.
+        pub fn count(self) -> usize {
+            self.items.len()
+        }
+
+        /// Collects the items, mirroring `ParallelIterator::collect`.
+        pub fn collect<C: FromParallelIterator<T>>(self) -> C {
+            C::from_ordered(self.items)
+        }
+
+        /// Sums the items, mirroring `ParallelIterator::sum`.
+        pub fn sum<S: Sum<T>>(self) -> S {
+            self.items.into_iter().sum()
+        }
+    }
+
+    impl<'a, T: Copy + Send + Sync + 'a> ParIter<&'a T> {
+        /// Copies borrowed items, mirroring `ParallelIterator::copied`.
+        pub fn copied(self) -> ParIter<T> {
+            ParIter { items: self.items.into_iter().copied().collect() }
+        }
+    }
+
+    /// A mapped parallel iterator; terminal operations run every closure
+    /// call on the pool and preserve input order.
+    pub struct ParMap<T, F> {
+        items: Vec<T>,
+        f: F,
+    }
+
+    impl<T, R, F> ParMap<T, F>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        /// Executes the map on the pool and collects the results in
+        /// input order.
+        pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+            C::from_ordered(submod_exec::parallel_map(self.items, self.f))
+        }
+
+        /// Executes the map on the pool and sums the results in input
+        /// order.
+        pub fn sum<S: Sum<R>>(self) -> S {
+            submod_exec::parallel_map(self.items, self.f).into_iter().sum()
+        }
+    }
+
+    /// Order-preserving collection from a parallel iterator, mirroring
+    /// `rayon::iter::FromParallelIterator`.
+    pub trait FromParallelIterator<T>: Sized {
+        /// Builds the collection from items in input order.
+        fn from_ordered(items: Vec<T>) -> Self;
+    }
+
+    impl<T> FromParallelIterator<T> for Vec<T> {
+        fn from_ordered(items: Vec<T>) -> Self {
+            items
+        }
+    }
+
+    /// Fallible collection: returns the first error in *input order*
+    /// (deterministic at any thread count; every item is still
+    /// attempted).
+    impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+        fn from_ordered(items: Vec<Result<T, E>>) -> Self {
+            items.into_iter().collect()
         }
     }
 
     /// Chunked slice access, mirroring `rayon::slice::ParallelSlice`.
-    pub trait ParallelSlice<T> {
-        /// Returns an iterator over `chunk_size`-sized chunks supporting
-        /// rayon's `fold(identity, op).reduce(identity, op)` shape.
+    pub trait ParallelSlice<T: Sync> {
+        /// Returns a parallel iterator over `chunk_size`-sized chunks
+        /// supporting rayon's `fold(identity, op).reduce(identity, op)`
+        /// shape.
         fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
+    impl<T: Sync> ParallelSlice<T> for [T] {
         fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
-            ParChunks { inner: self.chunks(chunk_size) }
+            ParChunks { slice: self, chunk_size: chunk_size.max(1) }
         }
     }
 
-    /// Sequential stand-in for rayon's chunked parallel iterator.
+    /// Pool-executed chunked parallel iterator over a slice.
     pub struct ParChunks<'a, T> {
-        inner: std::slice::Chunks<'a, T>,
+        slice: &'a [T],
+        chunk_size: usize,
     }
 
-    impl<'a, T> ParChunks<'a, T> {
-        /// Folds every chunk into per-split accumulators (a single split,
-        /// sequentially), mirroring `ParallelIterator::fold`.
+    impl<'a, T: Sync> ParChunks<'a, T> {
+        /// Folds chunks into per-split accumulators in parallel,
+        /// mirroring `ParallelIterator::fold`.
+        ///
+        /// Chunks are assigned contiguously to at most [`FOLD_SPLITS`]
+        /// splits — a count independent of the pool size — and each
+        /// split folds its chunks in order, so the accumulator grouping
+        /// (and any floating-point total derived from it) is identical
+        /// at any thread count.
         pub fn fold<Acc, Id, F>(self, identity: Id, fold_op: F) -> Folded<Acc>
         where
-            Id: Fn() -> Acc,
-            F: Fn(Acc, &'a [T]) -> Acc,
+            Acc: Send,
+            Id: Fn() -> Acc + Sync,
+            F: Fn(Acc, &'a [T]) -> Acc + Sync,
         {
-            Folded { acc: self.inner.fold(identity(), fold_op) }
+            let n_chunks = self.slice.len().div_ceil(self.chunk_size);
+            let splits = n_chunks.clamp(1, FOLD_SPLITS);
+            let chunks_per_split = n_chunks.div_ceil(splits).max(1);
+            let ranges: Vec<(usize, usize)> = (0..splits)
+                .map(|s| (s * chunks_per_split, ((s + 1) * chunks_per_split).min(n_chunks)))
+                .filter(|(lo, hi)| lo < hi)
+                .collect();
+            let slice = self.slice;
+            let chunk_size = self.chunk_size;
+            let accs = submod_exec::parallel_map(ranges, |(lo, hi)| {
+                let mut acc = identity();
+                for c in lo..hi {
+                    let start = c * chunk_size;
+                    let end = (start + chunk_size).min(slice.len());
+                    acc = fold_op(acc, &slice[start..end]);
+                }
+                acc
+            });
+            Folded { accs }
         }
     }
 
-    impl<'a, T> Iterator for ParChunks<'a, T> {
-        type Item = &'a [T];
-
-        fn next(&mut self) -> Option<Self::Item> {
-            self.inner.next()
-        }
-    }
-
-    /// Result of [`ParChunks::fold`]: the per-split accumulators awaiting
-    /// a `reduce`.
+    /// Result of [`ParChunks::fold`]: the per-split accumulators
+    /// awaiting a `reduce`.
     pub struct Folded<Acc> {
-        acc: Acc,
+        accs: Vec<Acc>,
     }
 
     impl<Acc> Folded<Acc> {
-        /// Merges the per-split accumulators, mirroring
-        /// `ParallelIterator::reduce`. With one sequential split the fold
-        /// result is returned as-is; `reduce_op` must be the usual monoid
-        /// merge for parity with real rayon.
-        pub fn reduce<Id, F>(self, _identity: Id, _reduce_op: F) -> Acc
+        /// Merges the per-split accumulators in split order, mirroring
+        /// `ParallelIterator::reduce`. `reduce_op` must be the usual
+        /// monoid merge for parity with real rayon.
+        pub fn reduce<Id, F>(self, identity: Id, reduce_op: F) -> Acc
         where
             Id: Fn() -> Acc,
             F: Fn(Acc, Acc) -> Acc,
         {
-            self.acc
+            self.accs.into_iter().fold(identity(), reduce_op)
         }
     }
 }
@@ -113,6 +235,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use submod_exec::with_threads;
 
     #[test]
     fn par_iter_matches_iter() {
@@ -129,9 +252,64 @@ mod tests {
     }
 
     #[test]
+    fn result_collect_reports_first_error_by_index() {
+        let out: Result<Vec<u32>, u32> = with_threads(4, || {
+            (0u32..64).into_par_iter().map(|x| if x % 20 == 9 { Err(x) } else { Ok(x) }).collect()
+        });
+        assert_eq!(out.unwrap_err(), 9);
+    }
+
+    #[test]
     fn slices_and_ranges_work() {
         let s = [1u8, 2, 3];
         assert_eq!(s.par_iter().copied().sum::<u8>(), 6);
         assert_eq!((0u32..5).into_par_iter().count(), 5);
+    }
+
+    #[test]
+    fn mapped_sum_runs_on_the_pool() {
+        let total: u64 = with_threads(4, || (0u64..1000).into_par_iter().map(|x| x * 2).sum());
+        assert_eq!(total, 999_000);
+    }
+
+    #[test]
+    fn par_chunks_fold_reduce_matches_sequential() {
+        let data: Vec<f64> = (0..997).map(|i| (i as f64) * 0.25).collect();
+        let sequential: f64 = data.chunks(10).map(|c| c.iter().sum::<f64>()).sum();
+        let parallel = data
+            .par_chunks(10)
+            .fold(|| 0.0f64, |acc, chunk| acc + chunk.iter().sum::<f64>())
+            .reduce(|| 0.0, |a, b| a + b);
+        assert!((parallel - sequential).abs() < 1e-9);
+    }
+
+    #[test]
+    fn par_chunks_fold_is_bitwise_stable_across_thread_counts() {
+        let data: Vec<f64> = (0..4096).map(|i| ((i * 37) as f64).sin()).collect();
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                data.par_chunks(7)
+                    .fold(|| 0.0f64, |acc, chunk| acc + chunk.iter().sum::<f64>())
+                    .reduce(|| 0.0, |a, b| a + b)
+                    .to_bits()
+            })
+        };
+        let reference = run(1);
+        for threads in [2, 8] {
+            assert_eq!(run(threads), reference, "thread count {threads}");
+        }
+    }
+
+    #[test]
+    fn join_and_scope_are_exposed() {
+        let (a, b) = crate::join(|| 2, || 3);
+        assert_eq!(a * b, 6);
+        let hits = std::sync::atomic::AtomicUsize::new(0);
+        crate::scope(|s| {
+            s.spawn(|_| {
+                hits.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.into_inner(), 1);
     }
 }
