@@ -1,0 +1,198 @@
+//! Compares two Criterion JSON-lines baseline files (the
+//! `CRITERION_OUTPUT_JSON` format: one `{"group":…,"id":…,"mean_ns":…}`
+//! object per line) and fails loudly on mean-time regressions.
+//!
+//! ```text
+//! cargo run -p submod-bench --bin bench-diff -- BASELINE CURRENT [--tolerance 0.20]
+//! ```
+//!
+//! Exit status 1 when any benchmark present in both files got slower by
+//! more than the tolerance (default +20 %). Entries that exist in only
+//! one file are listed but never fail the diff (benches come and go
+//! across PRs).
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+/// One parsed baseline entry, keyed by `group/id`.
+#[derive(Clone, Debug, PartialEq)]
+struct Entry {
+    mean_ns: f64,
+}
+
+/// Pulls the string value of `"key":"…"` out of a flat JSON object line,
+/// honoring the `\"` / `\\` escapes criterion's JSON writer emits.
+fn json_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\":\"");
+    let start = line.find(&marker)? + marker.len();
+    let mut out = String::new();
+    let mut chars = line[start..].chars();
+    loop {
+        match chars.next()? {
+            '"' => return Some(out),
+            '\\' => out.push(chars.next()?),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Pulls the numeric value of `"key":N` out of a flat JSON object line.
+fn json_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\":");
+    let start = line.find(&marker)? + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn parse_baselines(content: &str) -> BTreeMap<String, Entry> {
+    let mut out = BTreeMap::new();
+    for line in content.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (Some(group), Some(id), Some(mean_ns)) =
+            (json_str(line, "group"), json_str(line, "id"), json_num(line, "mean_ns"))
+        else {
+            eprintln!("warning: skipping unparsable baseline line: {line}");
+            continue;
+        };
+        // Last write wins: CRITERION_OUTPUT_JSON appends, so a re-run
+        // file legitimately contains repeated keys.
+        out.insert(format!("{group}/{id}"), Entry { mean_ns });
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut tolerance = 0.20f64;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--tolerance" {
+            i += 1;
+            tolerance = match args.get(i).and_then(|s| s.parse().ok()) {
+                Some(t) => t,
+                None => {
+                    eprintln!("error: --tolerance expects a number");
+                    return ExitCode::from(2);
+                }
+            };
+        } else {
+            positional.push(args[i].clone());
+        }
+        i += 1;
+    }
+    if positional.len() != 2 {
+        eprintln!("usage: bench-diff BASELINE CURRENT [--tolerance 0.20]");
+        return ExitCode::from(2);
+    }
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse_baselines(&read(&positional[0]));
+    let current = parse_baselines(&read(&positional[1]));
+
+    let mut regressions = Vec::new();
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  verdict (tolerance +{:.0} %)",
+        "benchmark",
+        "baseline ns",
+        "current ns",
+        "ratio",
+        tolerance * 100.0
+    );
+    for (key, base) in &baseline {
+        let Some(cur) = current.get(key) else {
+            println!("{key:<45} {:>12.0} {:>12} {:>9}  removed", base.mean_ns, "-", "-");
+            continue;
+        };
+        let ratio = cur.mean_ns / base.mean_ns;
+        let verdict = if ratio > 1.0 + tolerance {
+            regressions.push((key.clone(), ratio));
+            "REGRESSION"
+        } else if ratio < 1.0 - tolerance {
+            "improved"
+        } else {
+            "ok"
+        };
+        println!("{key:<45} {:>12.0} {:>12.0} {ratio:>8.2}x  {verdict}", base.mean_ns, cur.mean_ns);
+    }
+    for key in current.keys().filter(|k| !baseline.contains_key(*k)) {
+        println!("{key:<45} {:>12} {:>12.0} {:>9}  new", "-", current[key].mean_ns, "-");
+    }
+
+    if regressions.is_empty() {
+        println!("\nno regressions beyond +{:.0} %", tolerance * 100.0);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "\nFAILED: {} benchmark(s) regressed beyond +{:.0} %:",
+            regressions.len(),
+            tolerance * 100.0
+        );
+        for (key, ratio) in &regressions {
+            eprintln!("  {key}: {ratio:.2}x the baseline mean");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINES: &str = r#"
+{"group":"g","id":"fast","mean_ns":1000,"min_ns":900,"max_ns":1100,"samples":10}
+{"group":"g","id":"slow","mean_ns":5000,"min_ns":4000,"max_ns":6000,"samples":10}
+"#;
+
+    #[test]
+    fn parses_json_lines() {
+        let map = parse_baselines(LINES);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["g/fast"].mean_ns, 1000.0);
+        assert_eq!(map["g/slow"].mean_ns, 5000.0);
+    }
+
+    #[test]
+    fn last_write_wins_on_repeated_keys() {
+        let twice = format!(
+            "{LINES}\n{}",
+            r#"{"group":"g","id":"fast","mean_ns":1500,"min_ns":1,"max_ns":2,"samples":10}"#
+        );
+        assert_eq!(parse_baselines(&twice)["g/fast"].mean_ns, 1500.0);
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let map = parse_baselines("not json\n{\"group\":\"g\"}\n");
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn field_extractors() {
+        let line = r#"{"group":"a_b","id":"x","mean_ns":12345.5,"samples":3}"#;
+        assert_eq!(json_str(line, "group").as_deref(), Some("a_b"));
+        assert_eq!(json_str(line, "id").as_deref(), Some("x"));
+        assert_eq!(json_num(line, "mean_ns"), Some(12345.5));
+        assert_eq!(json_num(line, "samples"), Some(3.0));
+        assert_eq!(json_num(line, "missing"), None);
+    }
+
+    /// Keys with the escapes criterion's `json_escape` writes must parse
+    /// back to the original text, not truncate at the first quote.
+    #[test]
+    fn escaped_keys_roundtrip() {
+        let line = r#"{"group":"g \"q\" \\ tail","id":"x","mean_ns":10,"samples":1}"#;
+        assert_eq!(json_str(line, "group").as_deref(), Some(r#"g "q" \ tail"#));
+        let map = parse_baselines(line);
+        assert_eq!(map[r#"g "q" \ tail/x"#].mean_ns, 10.0);
+    }
+}

@@ -15,6 +15,9 @@ pub struct BenchCtx {
     pub scale: f64,
     /// Quick mode: coarser grids for smoke runs.
     pub quick: bool,
+    /// Report peak driver-side bytes for the bounding drivers, so the
+    /// larger-than-memory claim is a printed number instead of prose.
+    pub report_memory: bool,
 }
 
 impl BenchCtx {
@@ -172,8 +175,8 @@ mod tests {
 
     #[test]
     fn quick_mode_shrinks_grids() {
-        let full = BenchCtx { out_dir: "r".into(), scale: 0.1, quick: false };
-        let quick = BenchCtx { out_dir: "r".into(), scale: 0.1, quick: true };
+        let full = BenchCtx { out_dir: "r".into(), scale: 0.1, quick: false, report_memory: false };
+        let quick = BenchCtx { out_dir: "r".into(), scale: 0.1, quick: true, report_memory: false };
         assert!(quick.grid_axis().len() < full.grid_axis().len());
         assert!(quick.alphas().len() < full.alphas().len());
         assert!(quick.subset_fractions().len() < full.subset_fractions().len());

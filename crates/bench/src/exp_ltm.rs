@@ -7,7 +7,9 @@ use crate::common::BenchCtx;
 use crate::output::{print_table, write_artifact};
 use std::time::Instant;
 use submod_dataflow::{MemoryBudget, Pipeline};
-use submod_dist::{bound_dataflow, bound_in_memory, BoundingConfig, SamplingStrategy};
+use submod_dist::{
+    bound_dataflow_with_stats, bound_in_memory_with_stats, BoundingConfig, SamplingStrategy,
+};
 
 /// Runs the budget sweep on the CIFAR-like dataset.
 pub fn ltm(ctx: &BenchCtx) {
@@ -17,8 +19,9 @@ pub fn ltm(ctx: &BenchCtx) {
     let k = instance.len() / 10;
     let config = BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 17).expect("config");
 
-    let reference =
-        bound_in_memory(&instance.graph, &objective, k, &config).expect("reference bounding");
+    let (reference, reference_stats) =
+        bound_in_memory_with_stats(&instance.graph, &objective, k, &config)
+            .expect("reference bounding");
     println!(
         "reference (unbounded memory): included {}, excluded {}",
         reference.included.len(),
@@ -26,6 +29,7 @@ pub fn ltm(ctx: &BenchCtx) {
     );
 
     let mut rows = Vec::new();
+    let mut memory_rows = Vec::new();
     let mut csv =
         String::from("budget_kib,identical,seconds,spill_files,bytes_spilled,peak_worker_kib\n");
     for budget_kib in [u64::MAX, 4096, 512, 64, 16] {
@@ -37,8 +41,9 @@ pub fn ltm(ctx: &BenchCtx) {
         let pipeline =
             Pipeline::builder().workers(8).memory_budget(budget).build().expect("pipeline");
         let start = Instant::now();
-        let outcome = bound_dataflow(&pipeline, &instance.graph, &objective, k, &config)
-            .expect("dataflow bounding");
+        let (outcome, stats) =
+            bound_dataflow_with_stats(&pipeline, &instance.graph, &objective, k, &config)
+                .expect("dataflow bounding");
         let secs = start.elapsed().as_secs_f64();
         let identical = outcome == reference;
         let metrics = pipeline.metrics();
@@ -48,7 +53,7 @@ pub fn ltm(ctx: &BenchCtx) {
             format!("{budget_kib} KiB")
         };
         rows.push(vec![
-            label,
+            label.clone(),
             if identical { "yes".into() } else { "NO".into() },
             format!("{secs:.2} s"),
             metrics.spill_files.to_string(),
@@ -61,6 +66,16 @@ pub fn ltm(ctx: &BenchCtx) {
             metrics.bytes_spilled,
             metrics.peak_worker_bytes / 1024
         ));
+        if ctx.report_memory {
+            memory_rows.push(vec![
+                label,
+                format!("{} B", stats.peak_pass_bytes),
+                stats.peak_candidates.to_string(),
+                format!("{} B", stats.peak_state_bytes),
+                // Two status bitsets ride to the workers every pass.
+                format!("{} B", metrics.bytes_broadcast / (stats.passes as u64).max(1)),
+            ]);
+        }
         assert!(identical, "memory budget changed the bounding outcome");
     }
     print_table(
@@ -68,5 +83,17 @@ pub fn ltm(ctx: &BenchCtx) {
         &["budget/worker", "identical", "wall clock", "spill files", "spilled", "peak worker"],
         &rows,
     );
+    if ctx.report_memory {
+        println!(
+            "\nreference in-memory driver: peak pass bytes {} (full bound table), \
+             peak state bytes {}",
+            reference_stats.peak_pass_bytes, reference_stats.peak_state_bytes
+        );
+        print_table(
+            "engine-resident driver memory: per-pass collections are candidates only",
+            &["budget/worker", "peak pass", "peak candidates", "driver state", "broadcast/pass"],
+            &memory_rows,
+        );
+    }
     let _ = write_artifact(&ctx.out_dir, "ltm_budget_sweep.csv", &csv);
 }

@@ -29,6 +29,10 @@
 //!   --threads N  worker threads for the submod_exec pool (default:
 //!                EXEC_NUM_THREADS or the available cores; results are
 //!                identical at any value — only wall-clock changes)
+//!   --report-memory
+//!                print peak driver-side bytes for the bounding drivers
+//!                (in-memory bound table vs engine-resident candidates),
+//!                turning the §5 larger-than-memory claim into a number
 //! ```
 
 mod common;
@@ -54,7 +58,12 @@ fn main() {
         return;
     }
     let experiment = args[0].clone();
-    let mut ctx = BenchCtx { out_dir: PathBuf::from("results"), scale: 0.1, quick: false };
+    let mut ctx = BenchCtx {
+        out_dir: PathBuf::from("results"),
+        scale: 0.1,
+        quick: false,
+        report_memory: false,
+    };
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -71,6 +80,7 @@ fn main() {
                     PathBuf::from(args.get(i).unwrap_or_else(|| die("--out expects a path")));
             }
             "--quick" => ctx.quick = true,
+            "--report-memory" => ctx.report_memory = true,
             "--threads" => {
                 i += 1;
                 let threads: usize = args
@@ -140,7 +150,7 @@ fn run(experiment: &str, ctx: &BenchCtx) {
 fn print_usage() {
     println!(
         "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|all> \
-         [--scale F] [--out DIR] [--quick] [--threads N]"
+         [--scale F] [--out DIR] [--quick] [--threads N] [--report-memory]"
     );
 }
 

@@ -49,6 +49,15 @@ impl NodeSet {
         self.capacity
     }
 
+    /// The backing bit words: id `i` is bit `i % 64` of word `i / 64`.
+    ///
+    /// Exposed so distributed drivers can broadcast the set to workers
+    /// without re-walking its members.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of members currently in the set.
     #[inline]
     pub fn len(&self) -> usize {

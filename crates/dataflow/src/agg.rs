@@ -1,10 +1,14 @@
-//! Whole-collection aggregations: folds, counts, extrema, and the
-//! distributed k-th largest selection used by the bounding thresholds.
+//! Whole-collection and per-key aggregations: folds, counts, extrema,
+//! the budget-aware keyed combiner, and the distributed k-th largest
+//! selection used by the bounding thresholds.
 
 use crate::codec::Record;
+use crate::pipeline::{Shard, ShardSink};
 use crate::{DataflowError, PCollection};
 use rayon::prelude::*;
+use std::collections::BTreeMap;
 use std::hash::Hash;
+use std::sync::atomic::Ordering;
 
 impl<T: Record> PCollection<T> {
     /// Folds every record into an accumulator per shard, then merges the
@@ -137,17 +141,103 @@ impl PCollection<f64> {
     }
 }
 
+impl<K, V> PCollection<(K, V)>
+where
+    K: Record + Ord + Hash + Eq,
+    V: Record,
+{
+    /// Folds the values of each key into an accumulator with map-side
+    /// combining — the engine's `Combine.perKey` with a partial-aggregation
+    /// stage, the keyed analogue of [`PCollection::aggregate`].
+    ///
+    /// Each shard folds its records into a per-key table; when the table
+    /// would exceed the worker's [`crate::MemoryBudget`] it is flushed as
+    /// partial `(key, accumulator)` records (which spill to disk like any
+    /// shuffle buffer), so a worker never holds more than one budget of
+    /// accumulators no matter how many distinct keys pass through it. The
+    /// partials are then shuffled and merged.
+    ///
+    /// Determinism: within a shard, each key's values fold in record
+    /// order; partials merge in the shuffle's (shard, sequence) order. The
+    /// result is bitwise-identical at any thread count. For `merge` to
+    /// also make the result independent of *where* flushes land, it must
+    /// be consistent with `fold` (the usual combiner contract); a key
+    /// whose records all sit in one shard and never straddle a flush is
+    /// folded exactly left-to-right.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if spill I/O fails.
+    pub fn aggregate_per_key<Acc, F, M>(
+        &self,
+        init: Acc,
+        fold: F,
+        merge: M,
+    ) -> Result<PCollection<(K, Acc)>, DataflowError>
+    where
+        Acc: Record,
+        F: Fn(Acc, V) -> Acc + Send + Sync,
+        M: Fn(Acc, Acc) -> Acc + Send + Sync,
+    {
+        let ctx = self.ctx().clone();
+        // --- Map side: per-shard combiner tables, flushed on budget. ---
+        let partial_groups: Vec<Vec<Shard<(K, Acc)>>> = self
+            .shards()
+            .par_iter()
+            .map(|shard| {
+                let mut sink = ShardSink::new(&ctx);
+                let mut table: BTreeMap<K, Acc> = BTreeMap::new();
+                let mut table_bytes = 0u64;
+                shard.for_each(|(k, v)| {
+                    let (old_bytes, acc) = match table.remove(&k) {
+                        Some(acc) => ((k.approx_bytes() + acc.approx_bytes()) as u64, acc),
+                        None => (0, init.clone()),
+                    };
+                    let acc = fold(acc, v);
+                    let new_bytes = (k.approx_bytes() + acc.approx_bytes()) as u64;
+                    table_bytes = table_bytes - old_bytes + new_bytes;
+                    table.insert(k, acc);
+                    ctx.metrics.observe_worker_bytes(table_bytes);
+                    if ctx.budget.exceeded_by(table_bytes) {
+                        ctx.metrics.combiner_flushes.fetch_add(1, Ordering::Relaxed);
+                        for entry in std::mem::take(&mut table) {
+                            sink.push(entry)?;
+                        }
+                        table_bytes = 0;
+                    }
+                    Ok(())
+                })?;
+                for entry in table {
+                    sink.push(entry)?;
+                }
+                sink.finish()
+            })
+            .collect::<Result<_, _>>()?;
+        let partials = PCollection::from_parts(ctx, partial_groups.into_iter().flatten().collect());
+
+        // --- Reduce side: merge the partials of each key in the
+        // shuffle's deterministic (shard, sequence) order. ---
+        partials.group_by_key()?.map(move |(k, accs)| {
+            let mut iter = accs.into_iter();
+            let first = iter.next().expect("groups are never empty");
+            (k, iter.fold(first, &merge))
+        })
+    }
+}
+
 impl<T> PCollection<T>
 where
     T: Record + Ord + Hash + Eq,
 {
-    /// Removes duplicate records via a shuffle.
+    /// Removes duplicate records via the keyed combiner: duplicates are
+    /// collapsed map-side before the shuffle, so heavy duplication never
+    /// inflates a group buffer.
     ///
     /// # Errors
     ///
     /// Returns an error if spill I/O fails.
     pub fn distinct(&self) -> Result<PCollection<T>, DataflowError> {
-        self.map(|t| (t, ()))?.group_by_key()?.map(|(t, _)| t)
+        self.map(|t| (t, ()))?.aggregate_per_key((), |(), ()| (), |(), ()| ())?.map(|(t, ())| t)
     }
 }
 
@@ -261,5 +351,76 @@ mod tests {
         let mut out = pc.distinct().unwrap().collect().unwrap();
         out.sort_unstable();
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn aggregate_per_key_sums_match_reduce_per_key() {
+        let p = Pipeline::new(4).unwrap();
+        let records: Vec<(u64, u64)> = (0..1000).map(|i| (i % 13, i)).collect();
+        let mut combined = p
+            .from_vec(records.clone())
+            .aggregate_per_key(0u64, |a, v| a + v, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
+        combined.sort_unstable();
+        let mut reduced =
+            p.from_vec(records).reduce_per_key(|a, b| a + b).unwrap().collect().unwrap();
+        reduced.sort_unstable();
+        assert_eq!(combined, reduced);
+    }
+
+    #[test]
+    fn aggregate_per_key_counts_under_tiny_budget() {
+        let p =
+            Pipeline::builder().workers(3).memory_budget(MemoryBudget::bytes(256)).build().unwrap();
+        let records: Vec<(u64, u64)> = (0..20_000).map(|i| (i % 500, 1)).collect();
+        let mut out = p
+            .from_vec(records)
+            .aggregate_per_key(0u64, |a, v| a + v, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
+        out.sort_unstable();
+        let expected: Vec<(u64, u64)> = (0..500).map(|k| (k, 40)).collect();
+        assert_eq!(out, expected);
+        let m = p.metrics();
+        assert!(m.combiner_flushes > 0, "tiny budget must flush the combiner table");
+    }
+
+    #[test]
+    fn aggregate_per_key_folds_values_in_record_order() {
+        // A single shard, order-sensitive accumulator: the fold must see
+        // values exactly in record order.
+        let p = Pipeline::new(1).unwrap();
+        let records: Vec<(u64, u64)> = vec![(1, 10), (2, 5), (1, 20), (1, 30), (2, 6)];
+        let mut out = p
+            .from_vec(records)
+            .aggregate_per_key(
+                Vec::new(),
+                |mut a: Vec<u64>, v| {
+                    a.push(v);
+                    a
+                },
+                |mut a, b| {
+                    a.extend(b);
+                    a
+                },
+            )
+            .unwrap()
+            .collect()
+            .unwrap();
+        out.sort_by_key(|(k, _)| *k);
+        assert_eq!(out, vec![(1, vec![10, 20, 30]), (2, vec![5, 6])]);
+    }
+
+    #[test]
+    fn aggregate_per_key_empty_collection() {
+        let p = Pipeline::new(2).unwrap();
+        let pc = p.from_vec(Vec::<(u64, u64)>::new());
+        assert_eq!(
+            pc.aggregate_per_key(0u64, |a, v| a + v, |a, b| a + b).unwrap().count().unwrap(),
+            0
+        );
     }
 }

@@ -12,10 +12,18 @@
 //! - Transforms: [`PCollection::map`], [`PCollection::flat_map`],
 //!   [`PCollection::filter`], [`PCollection::union`],
 //!   [`PCollection::group_by_key`], the two/three-way joins
-//!   [`PCollection::co_group_2`] / [`PCollection::co_group_3`], and
+//!   [`PCollection::co_group_2`] / [`PCollection::co_group_3`], the
+//!   budget-aware keyed combiner [`PCollection::aggregate_per_key`], and
 //!   aggregations including the distributed
 //!   [`PCollection::kth_largest`] selection that powers the bounding
 //!   thresholds.
+//! - [`SideInput`] / [`BroadcastSet`] — broadcast side-inputs for small
+//!   driver-side values (solution sets, status bitsets), metered by
+//!   [`PipelineMetrics::bytes_broadcast`], and the deterministic seeded
+//!   sampling operators [`PCollection::sample_bernoulli`] /
+//!   [`PCollection::sample_reservoir`] whose coins
+//!   ([`sample_coin`]) depend only on `(seed, key)` — never on sharding
+//!   or scheduling.
 //! - [`MemoryBudget`] — a byte limit per simulated worker. Buffers that
 //!   would exceed it are spilled to disk; shuffles fall back to external
 //!   sort-merge. [`PipelineMetrics`] exposes spill counters so tests can
@@ -60,7 +68,9 @@ mod error;
 mod memory;
 mod pcollection;
 mod pipeline;
+mod sample;
 mod shuffle;
+mod side;
 mod spill;
 
 pub use codec::{Either2, Either3, Record};
@@ -68,3 +78,5 @@ pub use error::DataflowError;
 pub use memory::{MemoryBudget, PipelineMetrics};
 pub use pcollection::PCollection;
 pub use pipeline::{Pipeline, PipelineBuilder};
+pub use sample::{mix_seed_key, sample_coin, splitmix64};
+pub use side::{BroadcastSet, SideInput};

@@ -72,12 +72,18 @@ pub(crate) struct MetricsInner {
     pub spill_files: AtomicU64,
     pub peak_worker_bytes: AtomicU64,
     pub external_merges: AtomicU64,
+    pub bytes_broadcast: AtomicU64,
+    pub combiner_flushes: AtomicU64,
 }
 
 impl MetricsInner {
     pub fn record_spill(&self, bytes: u64) {
         self.bytes_spilled.fetch_add(bytes, Ordering::Relaxed);
         self.spill_files.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_broadcast(&self, bytes: u64) {
+        self.bytes_broadcast.fetch_add(bytes, Ordering::Relaxed);
     }
 
     pub fn observe_worker_bytes(&self, bytes: u64) {
@@ -92,6 +98,8 @@ impl MetricsInner {
             spill_files: self.spill_files.load(Ordering::Relaxed),
             peak_worker_bytes: self.peak_worker_bytes.load(Ordering::Relaxed),
             external_merges: self.external_merges.load(Ordering::Relaxed),
+            bytes_broadcast: self.bytes_broadcast.load(Ordering::Relaxed),
+            combiner_flushes: self.combiner_flushes.load(Ordering::Relaxed),
         }
     }
 }
@@ -115,6 +123,11 @@ pub struct PipelineMetrics {
     pub peak_worker_bytes: u64,
     /// Number of groupings that needed an external sort-merge.
     pub external_merges: u64,
+    /// Bytes replicated to workers as broadcast side-inputs.
+    pub bytes_broadcast: u64,
+    /// Number of map-side combiner tables flushed early by the budget
+    /// (see [`crate::PCollection::aggregate_per_key`]).
+    pub combiner_flushes: u64,
 }
 
 #[cfg(test)]

@@ -47,6 +47,17 @@ impl Pipeline {
         PipelineBuilder::default()
     }
 
+    /// Re-wraps shared pipeline state (for operators that need to emit a
+    /// fresh collection into an existing pipeline).
+    pub(crate) fn from_ctx(ctx: Arc<Ctx>) -> Self {
+        Pipeline { ctx }
+    }
+
+    /// The shared pipeline state.
+    pub(crate) fn ctx_arc(&self) -> &Arc<Ctx> {
+        &self.ctx
+    }
+
     /// Creates a pipeline with `workers` workers and no memory limit.
     ///
     /// # Errors

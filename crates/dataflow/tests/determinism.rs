@@ -87,3 +87,55 @@ fn generate_is_thread_count_invariant() {
         p.generate(4000, |i| i.wrapping_mul(31).wrapping_add(7)).unwrap().collect().unwrap()
     });
 }
+
+#[test]
+fn aggregate_per_key_is_thread_count_invariant() {
+    assert_invariant("aggregate_per_key (in-memory tables)", || {
+        let p = Pipeline::new(4).unwrap();
+        let records: Vec<(u64, f64)> = (0..3000).map(|i| (i % 23, (i as f64).sin())).collect();
+        let out = p
+            .from_vec(records)
+            .aggregate_per_key(0.0f64, |a, v| a + v, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
+        // Compare the float bits: the fold order itself must be stable.
+        out.into_iter().map(|(k, v)| (k, v.to_bits())).collect::<Vec<_>>()
+    });
+    assert_invariant("aggregate_per_key (budget flushes)", || {
+        let p =
+            Pipeline::builder().workers(3).memory_budget(MemoryBudget::bytes(256)).build().unwrap();
+        let records: Vec<(u64, f64)> = (0..4000).map(|i| (i % 97, (i as f64).cos())).collect();
+        let out = p
+            .from_vec(records)
+            .aggregate_per_key(0.0f64, |a, v| a + v, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
+        out.into_iter().map(|(k, v)| (k, v.to_bits())).collect::<Vec<_>>()
+    });
+}
+
+#[test]
+fn samples_are_thread_count_invariant() {
+    assert_invariant("sample_bernoulli / sample_reservoir", || {
+        let p = Pipeline::new(4).unwrap();
+        let pc = p.from_vec((0u64..3000).collect());
+        let bernoulli = pc.sample_bernoulli(11, |&x| x, |_| 0.25).unwrap().collect().unwrap();
+        let reservoir = pc.sample_reservoir(11, |&x| x, 100).unwrap().collect().unwrap();
+        (bernoulli, reservoir)
+    });
+}
+
+#[test]
+fn broadcast_joins_are_thread_count_invariant() {
+    assert_invariant("broadcast side-input filter", || {
+        let p = Pipeline::new(4).unwrap();
+        let members = p.broadcast_set(3000, (0u64..3000).filter(|x| x % 7 == 0));
+        p.from_vec((0u64..3000).collect())
+            .filter(move |x| members.contains(*x))
+            .unwrap()
+            .collect()
+            .unwrap()
+    });
+}

@@ -133,6 +133,106 @@ proptest! {
         }
     }
 
+    /// Adversarial kth_largest: values drawn from a tiny pool so the
+    /// collection is saturated with duplicates (ties are where a
+    /// bisection can come off the rails), checked at **every** index —
+    /// both ends included — against the in-memory sort, across worker
+    /// counts and under a spilling budget.
+    #[test]
+    fn kth_largest_with_heavy_duplicates_matches_sort(
+        picks in proptest::collection::vec(0usize..4, 1..120),
+        pool in proptest::collection::vec(-1e3f64..1e3, 4..5),
+        workers in 1usize..6,
+        tiny_budget in any::<bool>(),
+    ) {
+        let values: Vec<f64> = picks.iter().map(|&i| pool[i]).collect();
+        let mut builder = Pipeline::builder().workers(workers);
+        if tiny_budget {
+            builder = builder.memory_budget(MemoryBudget::bytes(128));
+        }
+        let pipeline = builder.build().unwrap();
+        // Route through a map so the records land in budget-checked sinks.
+        let pc = pipeline.from_vec(values.clone()).map(|x| x).unwrap();
+        let mut sorted = values;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        for k in 1..=sorted.len() {
+            let got = pc.kth_largest(k as u64).unwrap();
+            prop_assert_eq!(got.to_bits(), sorted[k - 1].to_bits(), "k = {}", k);
+        }
+    }
+
+    /// All-equal collections: every order statistic is that value, bit
+    /// for bit.
+    #[test]
+    fn kth_largest_all_equal(value in -1e9f64..1e9, len in 1usize..60) {
+        let pipeline = Pipeline::new(4).unwrap();
+        let pc = pipeline.from_vec(vec![value; len]);
+        for k in [1, len.div_ceil(2), len] {
+            prop_assert_eq!(pc.kth_largest(k as u64).unwrap().to_bits(), value.to_bits());
+        }
+    }
+
+    /// aggregate_per_key(sum) equals the HashMap reference under any
+    /// sharding and budget.
+    #[test]
+    fn aggregate_per_key_matches_reference(
+        data in proptest::collection::vec((0u64..25, 0u64..1000), 0..300),
+        workers in 1usize..6,
+        tiny_budget in any::<bool>(),
+    ) {
+        let mut builder = Pipeline::builder().workers(workers);
+        if tiny_budget {
+            builder = builder.memory_budget(MemoryBudget::bytes(256));
+        }
+        let pipeline = builder.build().unwrap();
+        let mut ours: Vec<(u64, u64)> = pipeline
+            .from_vec(data.clone())
+            .aggregate_per_key(0u64, |a, v| a + v, |a, b| a + b)
+            .unwrap()
+            .collect()
+            .unwrap();
+        ours.sort_unstable();
+        let mut reference: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in data {
+            *reference.entry(k).or_default() += v;
+        }
+        let mut expected: Vec<(u64, u64)> = reference.into_iter().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(ours, expected);
+    }
+
+    /// The seeded samples are pure functions of (seed, key): identical at
+    /// any worker count, and Bernoulli membership matches the coin.
+    #[test]
+    fn samples_are_shard_invariant(
+        data in proptest::collection::vec(any::<u64>(), 1..200),
+        seed in any::<u64>(),
+        p in 0.0f64..=1.0,
+        capacity in 1usize..50,
+    ) {
+        let mut dedup = data;
+        dedup.sort_unstable();
+        dedup.dedup();
+        let mut bernoulli_runs = Vec::new();
+        let mut reservoir_runs = Vec::new();
+        for workers in [1usize, 4] {
+            let pipeline = Pipeline::new(workers).unwrap();
+            let pc = pipeline.from_vec(dedup.clone());
+            let mut b = pc.sample_bernoulli(seed, |&x| x, |_| p).unwrap().collect().unwrap();
+            b.sort_unstable();
+            bernoulli_runs.push(b);
+            reservoir_runs.push(
+                pc.sample_reservoir(seed, |&x| x, capacity).unwrap().collect().unwrap(),
+            );
+        }
+        prop_assert_eq!(&bernoulli_runs[0], &bernoulli_runs[1]);
+        prop_assert_eq!(&reservoir_runs[0], &reservoir_runs[1]);
+        prop_assert_eq!(reservoir_runs[0].len(), capacity.min(dedup.len()));
+        for x in &bernoulli_runs[0] {
+            prop_assert!(submod_dataflow::sample_coin(seed, *x) < p);
+        }
+    }
+
     /// reduce_per_key(sum) equals aggregate-by-hand.
     #[test]
     fn reduce_per_key_sums_correctly(data in proptest::collection::vec((0u64..20, 0u64..1000), 0..300)) {
@@ -147,6 +247,22 @@ proptest! {
         let mut expected: Vec<(u64, u64)> = reference.into_iter().collect();
         expected.sort_unstable();
         prop_assert_eq!(ours, expected);
+    }
+
+    /// Extreme-value order statistics (negative zero, subnormals, the
+    /// f64 extremes) come back bit for bit at every index.
+    #[test]
+    fn kth_largest_extreme_values_match_sort(workers in 1usize..6) {
+        let values =
+            vec![-0.0f64, 0.0, f64::MIN_POSITIVE / 2.0, f64::MAX, f64::MIN, 1.0, -1.0, 0.0];
+        let pipeline = Pipeline::new(workers).unwrap();
+        let pc = pipeline.from_vec(values.clone());
+        let mut sorted = values;
+        sorted.sort_by(|a, b| b.total_cmp(a));
+        for k in 1..=sorted.len() {
+            let got = pc.kth_largest(k as u64).unwrap();
+            prop_assert_eq!(got.to_bits(), sorted[k - 1].to_bits(), "k = {}", k);
+        }
     }
 
     /// co_group_2 is a full outer join: every key from either side appears

@@ -20,12 +20,23 @@
 //! sample membership is a deterministic per-node hash coin so the
 //! in-memory and dataflow drivers agree bit for bit.
 //!
-//! [`bound_dataflow`] runs the same passes on the Beam-style engine: the
-//! fanned-out neighbor graph is joined with the included / excluded
-//! status sets (the paper's three-way join, §5) and thresholds come from
-//! the engine's O(1)-memory distributed `kth_largest`. Both drivers share
-//! the decision code, so their outcomes are **identical** — the
-//! larger-than-memory suite asserts equality under crushing budgets.
+//! # The engine-resident §5 pipeline
+//!
+//! [`bound_dataflow`] keeps the per-node bound table **inside the engine
+//! for its whole life**: the included/excluded status sets are broadcast
+//! to workers as bitset side-inputs ([`submod_dataflow::BroadcastSet`]),
+//! each worker derives `U_min`/`U_max`/`U_exp` for its shard of the
+//! undecided points, the threshold sample is an engine-side filter over
+//! that sharded table, thresholds come from the engine's O(1)-memory
+//! distributed `kth_largest`, and the include/exclude candidate filters
+//! run as engine transforms too. Only the **candidates** — the points
+//! that beat a threshold — ever reach the driver, so per-pass driver
+//! allocations are `O(candidates)`, not `O(undecided)`; the persistent
+//! driver state is the `O(k + undecided)` decision bookkeeping the §5
+//! design budgets for. [`BoundingStats`] meters both so tests can assert
+//! the claim. Both drivers share the same decision code and the same
+//! coins, so their outcomes are **identical** — the larger-than-memory
+//! suite asserts equality under crushing budgets.
 
 use crate::config::BoundingMode;
 use crate::{BoundingConfig, DistError, SamplingStrategy};
@@ -64,26 +75,48 @@ impl BoundingOutcome {
     }
 }
 
-/// Per-point similarity penalties produced by one pass. The three §4
-/// bounds derive from them in shared code, so the in-memory and dataflow
-/// drivers agree bit for bit:
+/// Driver-side memory accounting for one bounding run — the §5
+/// larger-than-memory claim as numbers instead of prose.
 ///
-/// - `U_min = u − (β/α)·min_penalty` (every non-excluded neighbor counts,
-///   Def. 4.1),
-/// - `U_max = u − (β/α)·max_penalty` (only included neighbors count,
-///   Def. 4.2),
-/// - `U_exp = u − (β/α)·(max_penalty + q·(min_penalty − max_penalty))`
-///   with `q = k_rem/|undecided|` — the *expected* utility under a
-///   uniform-random completion (Def. 4.5), the statistic the approximate
-///   shrink decides on.
-#[derive(Clone, Copy, Debug)]
-struct Bounds {
-    node: u64,
-    min_penalty: f64,
-    max_penalty: f64,
+/// The *driver* is the process orchestrating the passes. Its persistent
+/// state (`peak_state_bytes`) is the included/excluded bitsets plus the
+/// undecided list: `O(k + undecided)`. What distinguishes the drivers is
+/// `peak_pass_bytes`, the largest *per-pass* materialization: the
+/// in-memory driver builds the full bound table (`O(undecided)` per
+/// pass), while the engine-resident dataflow driver only ever collects
+/// the candidate lists (`O(candidates)`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BoundingStats {
+    /// Grow + shrink passes executed.
+    pub passes: usize,
+    /// Peak bytes of per-pass driver-side materializations (bound tables,
+    /// samples, and candidate lists for the in-memory driver; candidate
+    /// lists alone for the dataflow driver).
+    pub peak_pass_bytes: u64,
+    /// Largest candidate list any single pass handed the decision code.
+    pub peak_candidates: usize,
+    /// Peak bytes of persistent driver state: the included/excluded
+    /// bitsets plus the undecided id list.
+    pub peak_state_bytes: u64,
 }
 
-/// The derived per-point bound values for one pass.
+impl BoundingStats {
+    fn observe_pass(&mut self, pass_bytes: u64, candidates: usize, state_bytes: u64) {
+        self.passes += 1;
+        self.peak_pass_bytes = self.peak_pass_bytes.max(pass_bytes);
+        self.peak_candidates = self.peak_candidates.max(candidates);
+        self.peak_state_bytes = self.peak_state_bytes.max(state_bytes);
+    }
+}
+
+/// The derived per-point bound values for one pass (Defs. 4.1, 4.2, 4.5):
+///
+/// - `umin = u − (β/α)·min_penalty` (every non-excluded neighbor counts),
+/// - `umax = u − (β/α)·max_penalty` (only included neighbors count),
+/// - `uexp = u − (β/α)·(max_penalty + q·(min_penalty − max_penalty))`
+///   with `q = k_rem/|undecided|` — the *expected* utility under a
+///   uniform-random completion, the statistic the approximate shrink
+///   decides on.
 #[derive(Clone, Copy, Debug)]
 struct Derived {
     node: u64,
@@ -98,30 +131,40 @@ struct Derived {
 /// expectation being wrong (Theorem 4.6 prices the residual risk).
 const SAFETY_POOL_FACTOR: usize = 3;
 
-fn derive(
-    bounds: &[Bounds],
+/// Derives the §4 bounds of one undecided point from the status sets.
+/// **The** shared kernel: both drivers run exactly this arithmetic —
+/// neighbor contributions accumulate in adjacency order on both sides —
+/// so every `f64` matches bit for bit.
+fn derive_node<FInc, FExc>(
+    graph: &SimilarityGraph,
     objective: &PairwiseObjective,
-    k_remaining: usize,
-    undecided_len: usize,
-) -> Vec<Derived> {
+    node: u64,
+    q: f64,
+    included: FInc,
+    not_excluded: FExc,
+) -> Derived
+where
+    FInc: Fn(u64) -> bool,
+    FExc: Fn(u64) -> bool,
+{
+    let mut min_penalty = 0.0f64;
+    let mut max_penalty = 0.0f64;
+    for (w, s) in graph.edges(NodeId::new(node)) {
+        if not_excluded(w.raw()) {
+            min_penalty += f64::from(s);
+        }
+        if included(w.raw()) {
+            max_penalty += f64::from(s);
+        }
+    }
     let ratio = objective.ratio();
-    let q = if undecided_len == 0 {
-        0.0
-    } else {
-        (k_remaining as f64 / undecided_len as f64).clamp(0.0, 1.0)
-    };
-    bounds
-        .iter()
-        .map(|b| {
-            let u = objective.utility(NodeId::new(b.node));
-            Derived {
-                node: b.node,
-                umin: u - ratio * b.min_penalty,
-                umax: u - ratio * b.max_penalty,
-                uexp: u - ratio * (b.max_penalty + q * (b.min_penalty - b.max_penalty)),
-            }
-        })
-        .collect()
+    let u = objective.utility(NodeId::new(node));
+    Derived {
+        node,
+        umin: u - ratio * min_penalty,
+        umax: u - ratio * max_penalty,
+        uexp: u - ratio * (max_penalty + q * (min_penalty - max_penalty)),
+    }
 }
 
 /// Mutable bounding state shared by both drivers.
@@ -142,13 +185,20 @@ impl State {
             .filter(|&v| !self.included.contains(v) && !self.excluded.contains(v))
             .collect()
     }
+
+    /// Persistent driver bytes: two bitsets plus the undecided id list.
+    fn state_bytes(&self, undecided_len: usize) -> u64 {
+        let words = self.included.words().len() + self.excluded.words().len();
+        (words * size_of::<u64>() + undecided_len * size_of::<u64>()) as u64
+    }
 }
 
 /// splitmix64 over (seed, salt, node): the deterministic sampling coin in
 /// `[0, 1)`. Order-independent, so the dataflow driver reproduces it.
+/// Delegates to the engine's canonical coin so the dataflow `sample`
+/// operators and the bounding sample flip identical bits.
 fn sample_coin(seed: u64, salt: u64, node: u64) -> f64 {
-    let mixed = crate::mix::mix_seed_node(seed ^ salt.rotate_left(17), node);
-    (mixed >> 11) as f64 / (1u64 << 53) as f64
+    submod_dataflow::sample_coin(seed ^ salt.rotate_left(17), node)
 }
 
 /// Whether `node` is in the threshold-estimation sample of this pass.
@@ -202,12 +252,68 @@ fn kth_largest_in_memory(values: &mut [f64], index: usize) -> Option<f64> {
     Some(values[index - 1])
 }
 
-/// Grow decision (Lemma 4.3): undecided points whose `U_min` beats the
-/// threshold, best first, capped at the open budget.
-fn decide_grow(derived: &[Derived], threshold: f64, k_remaining: usize) -> Vec<u64> {
-    let mut candidates: Vec<&Derived> = derived.iter().filter(|b| b.umin > threshold).collect();
-    candidates.sort_by(|a, b| b.umin.total_cmp(&a.umin).then(a.node.cmp(&b.node)));
-    candidates.into_iter().take(k_remaining).map(|b| b.node).collect()
+/// One grow or shrink pass, parameterized over everything that differs
+/// between the two directions. `candidates` are the `(node, statistic)`
+/// pairs that beat the pass threshold — the only per-pass data a backend
+/// may hand the driver.
+#[derive(Clone, Copy, Debug)]
+struct PassSpec {
+    /// Pass counter (salts the sampling coin).
+    pass: u64,
+    /// Coin salt: 0 = grow, 1 = shrink.
+    phase: u64,
+    /// Budget the threshold index is computed from (`k_rem` for grow and
+    /// exact shrink, `SAFETY_POOL_FACTOR·k_rem` for approximate shrink).
+    k_effective: usize,
+    /// Completion ratio `k_rem / |undecided|` for `U_exp`.
+    q: f64,
+    /// Exact (lemma-grade) or approximate (expectation-grade) decisions.
+    exact: bool,
+    /// Grow pass (`true`) or shrink pass (`false`).
+    grow: bool,
+}
+
+impl PassSpec {
+    /// The statistic sampled for threshold estimation.
+    fn sample_stat(&self, d: &Derived) -> f64 {
+        if self.grow {
+            // Grow thresholds on the best case U_max (Lemma 4.3).
+            d.umax
+        } else if self.exact {
+            // Exact shrink thresholds on the worst case U_min (Lemma 4.4).
+            d.umin
+        } else {
+            // Approximate shrink thresholds on the expectation (Def. 4.5).
+            d.uexp
+        }
+    }
+
+    /// The statistic a candidate is judged by.
+    fn candidate_stat(&self, d: &Derived) -> f64 {
+        if self.grow {
+            d.umin
+        } else if self.exact {
+            d.umax
+        } else {
+            d.uexp
+        }
+    }
+
+    /// Whether a point with candidate statistic `stat` beats `threshold`.
+    fn beats(&self, stat: f64, threshold: f64) -> bool {
+        if self.grow {
+            stat > threshold
+        } else {
+            stat < threshold
+        }
+    }
+}
+
+/// Grow decision (Lemma 4.3): candidates best-first, capped at the open
+/// budget. Shared verbatim by both drivers — outcome equality follows.
+fn decide_grow(mut candidates: Vec<(u64, f64)>, k_remaining: usize) -> Vec<u64> {
+    candidates.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    candidates.into_iter().take(k_remaining).map(|(node, _)| node).collect()
 }
 
 /// Shrink decision, worst candidates first, never shrinking the pool
@@ -220,17 +326,197 @@ fn decide_grow(derived: &[Derived], threshold: f64, k_remaining: usize) -> Vec<u
 /// cuts are what let approximate bounding discard the bulk of a
 /// near-duplicate-heavy ground set (§6.3) where the worst-case lemma
 /// stalls, at the probabilistic price Theorem 4.6 quantifies.
-fn decide_shrink(
-    derived: &[Derived],
-    exact: bool,
-    threshold: f64,
-    max_excludable: usize,
-) -> Vec<u64> {
-    let statistic = |b: &Derived| if exact { b.umax } else { b.uexp };
-    let mut candidates: Vec<&Derived> =
-        derived.iter().filter(|b| statistic(b) < threshold).collect();
-    candidates.sort_by(|a, b| statistic(a).total_cmp(&statistic(b)).then(a.node.cmp(&b.node)));
-    candidates.into_iter().take(max_excludable).map(|b| b.node).collect()
+fn decide_shrink(mut candidates: Vec<(u64, f64)>, max_excludable: usize) -> Vec<u64> {
+    candidates.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    candidates.into_iter().take(max_excludable).map(|(node, _)| node).collect()
+}
+
+/// What a backend hands the driver after one pass: the candidate list and
+/// the bytes the pass materialized driver-side to produce it.
+struct PassResult {
+    candidates: Vec<(u64, f64)>,
+    driver_bytes: u64,
+}
+
+/// A bounding execution backend: everything pass-specific that differs
+/// between the in-memory reference and the dataflow engine. The decision
+/// code downstream is shared, which is what guarantees identical
+/// outcomes.
+trait PassBackend {
+    fn run_pass(
+        &mut self,
+        state: &State,
+        undecided: &[NodeId],
+        spec: PassSpec,
+    ) -> Result<PassResult, DistError>;
+}
+
+/// The in-memory reference: materializes the full bound table on the
+/// driver every pass (`O(undecided)` driver bytes — the baseline the
+/// engine-resident driver is measured against).
+struct InMemoryBackend<'a> {
+    graph: &'a SimilarityGraph,
+    objective: &'a PairwiseObjective,
+    mode: BoundingMode,
+    mean_utility: f64,
+}
+
+impl PassBackend for InMemoryBackend<'_> {
+    fn run_pass(
+        &mut self,
+        state: &State,
+        undecided: &[NodeId],
+        spec: PassSpec,
+    ) -> Result<PassResult, DistError> {
+        let derived: Vec<Derived> = undecided
+            .iter()
+            .map(|&v| {
+                derive_node(
+                    self.graph,
+                    self.objective,
+                    v.raw(),
+                    spec.q,
+                    |w| state.included.contains(NodeId::new(w)),
+                    |w| !state.excluded.contains(NodeId::new(w)),
+                )
+            })
+            .collect();
+        let mut sample: Vec<f64> = derived
+            .iter()
+            .filter(|d| {
+                in_sample(
+                    &self.mode,
+                    spec.pass,
+                    spec.phase,
+                    d.node,
+                    self.objective.utility(NodeId::new(d.node)),
+                    self.mean_utility,
+                )
+            })
+            .map(|d| spec.sample_stat(d))
+            .collect();
+        let index = threshold_index(&self.mode, spec.k_effective, sample.len());
+        let candidates: Vec<(u64, f64)> = match kth_largest_in_memory(&mut sample, index) {
+            Some(threshold) => derived
+                .iter()
+                .filter(|d| spec.beats(spec.candidate_stat(d), threshold))
+                .map(|d| (d.node, spec.candidate_stat(d)))
+                .collect(),
+            None => Vec::new(),
+        };
+        let driver_bytes = (derived.len() * size_of::<Derived>()
+            + sample.len() * size_of::<f64>()
+            + candidates.len() * size_of::<(u64, f64)>()) as u64;
+        Ok(PassResult { candidates, driver_bytes })
+    }
+}
+
+/// The engine-resident driver (§5): the bound table is born, lives, and
+/// dies inside the dataflow engine. Per pass it
+///
+/// 1. broadcasts the included/excluded bitsets as side-inputs,
+/// 2. streams the undecided ids into the engine
+///    ([`Pipeline::generate`], so even the source respects worker
+///    budgets) and derives the bounds shard-locally,
+/// 3. filters the threshold sample engine-side with the shared coin and
+///    selects the threshold with the distributed `kth_largest`,
+/// 4. filters the candidates engine-side,
+///
+/// and collects **only the candidates** — per-pass driver bytes are
+/// `O(candidates)`, never `O(undecided)`.
+struct DataflowBackend<'a> {
+    pipeline: &'a Pipeline,
+    graph: &'a SimilarityGraph,
+    objective: &'a PairwiseObjective,
+    mode: BoundingMode,
+    mean_utility: f64,
+}
+
+impl DataflowBackend<'_> {
+    /// The engine-resident bound table for one pass.
+    fn derived_table(
+        &self,
+        state: &State,
+        undecided: &[NodeId],
+        spec: PassSpec,
+    ) -> Result<PCollection<(u64, f64, f64, f64)>, DistError> {
+        let n = self.graph.num_nodes();
+        let included = self.pipeline.broadcast_words(state.included.words().to_vec(), n);
+        let excluded = self.pipeline.broadcast_words(state.excluded.words().to_vec(), n);
+        let graph = self.graph;
+        let objective = self.objective;
+        let source =
+            self.pipeline.generate(undecided.len() as u64, move |i| undecided[i as usize].raw())?;
+        let table = source.map(move |v| {
+            let d = derive_node(
+                graph,
+                objective,
+                v,
+                spec.q,
+                |w| included.contains(w),
+                |w| !excluded.contains(w),
+            );
+            (d.node, d.umin, d.umax, d.uexp)
+        })?;
+        Ok(table)
+    }
+}
+
+impl PassBackend for DataflowBackend<'_> {
+    fn run_pass(
+        &mut self,
+        state: &State,
+        undecided: &[NodeId],
+        spec: PassSpec,
+    ) -> Result<PassResult, DistError> {
+        let table = self.derived_table(state, undecided, spec)?;
+        let unpack = |(node, umin, umax, uexp): &(u64, f64, f64, f64)| Derived {
+            node: *node,
+            umin: *umin,
+            umax: *umax,
+            uexp: *uexp,
+        };
+
+        // Threshold sample: an engine-side filter with the shared coin.
+        let mode = self.mode;
+        let mean_utility = self.mean_utility;
+        let objective = self.objective;
+        let sample = table.filter(move |r| {
+            in_sample(
+                &mode,
+                spec.pass,
+                spec.phase,
+                r.0,
+                objective.utility(NodeId::new(r.0)),
+                mean_utility,
+            )
+        })?;
+        let stats = sample.map(move |r| spec.sample_stat(&unpack(&r)))?;
+        let sample_len = stats.count()? as usize;
+        let index = threshold_index(&self.mode, spec.k_effective, sample_len);
+        if index == 0 || sample_len == 0 {
+            return Ok(PassResult { candidates: Vec::new(), driver_bytes: 0 });
+        }
+        // The threshold is an order statistic of the sampled statistic;
+        // the engine's `kth_largest` (bit-bisection over counting passes,
+        // O(1) worker memory) lands exactly on the attained element, so
+        // the value matches the in-memory sort bit for bit.
+        let threshold = stats.kth_largest(index as u64)?;
+
+        // Candidate filter: engine-side; only survivors reach the driver.
+        let candidates: Vec<(u64, f64)> = table
+            .filter(move |r| {
+                let d = unpack(r);
+                spec.beats(spec.candidate_stat(&d), threshold)
+            })?
+            .map(move |r| {
+                let d = unpack(&r);
+                (d.node, spec.candidate_stat(&d))
+            })?
+            .collect()?;
+        let driver_bytes = (candidates.len() * size_of::<(u64, f64)>()) as u64;
+        Ok(PassResult { candidates, driver_bytes })
+    }
 }
 
 fn validate(
@@ -255,6 +541,10 @@ fn validate(
     Ok(())
 }
 
+fn mean_utility(objective: &PairwiseObjective, n: usize) -> f64 {
+    objective.utilities().iter().map(|&u| f64::from(u)).sum::<f64>() / (n.max(1)) as f64
+}
+
 /// Runs bounding entirely in memory.
 ///
 /// # Errors
@@ -267,40 +557,36 @@ pub fn bound_in_memory(
     k: usize,
     config: &BoundingConfig,
 ) -> Result<BoundingOutcome, DistError> {
-    validate(graph, objective, k)?;
-    run_bounding(
-        graph,
-        objective,
-        k,
-        config,
-        |state, undecided| {
-            // Neighbor contributions accumulate in ascending-neighbor
-            // order — the dataflow driver sorts its join outputs the same
-            // way, so the two produce bitwise-identical sums.
-            Ok(undecided
-                .iter()
-                .map(|&v| {
-                    let mut min_penalty = 0.0f64;
-                    let mut max_penalty = 0.0f64;
-                    for (w, s) in graph.edges(v) {
-                        if !state.excluded.contains(w) {
-                            min_penalty += f64::from(s);
-                        }
-                        if state.included.contains(w) {
-                            max_penalty += f64::from(s);
-                        }
-                    }
-                    Bounds { node: v.raw(), min_penalty, max_penalty }
-                })
-                .collect())
-        },
-        |sample, index| Ok(kth_largest_in_memory(&mut sample.to_vec(), index)),
-    )
+    bound_in_memory_with_stats(graph, objective, k, config).map(|(outcome, _)| outcome)
 }
 
-/// Runs bounding on the dataflow engine: neighbor fan-out, the three-way
-/// status join, and distributed threshold selection, with every worker
-/// buffer held to the pipeline's memory budget.
+/// [`bound_in_memory`] plus the driver-side memory accounting.
+///
+/// # Errors
+///
+/// Returns an error if the objective does not match the graph or `k`
+/// exceeds the ground set.
+pub fn bound_in_memory_with_stats(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    config: &BoundingConfig,
+) -> Result<(BoundingOutcome, BoundingStats), DistError> {
+    validate(graph, objective, k)?;
+    let mut backend = InMemoryBackend {
+        graph,
+        objective,
+        mode: config.mode,
+        mean_utility: mean_utility(objective, graph.num_nodes()),
+    };
+    run_bounding(graph, k, config, &mut backend)
+}
+
+/// Runs bounding on the dataflow engine with the bound table
+/// engine-resident end to end (see the module docs): broadcast status
+/// side-inputs, shard-local derive, engine-side sampling and candidate
+/// filters, distributed threshold selection, and every worker buffer held
+/// to the pipeline's memory budget.
 ///
 /// The outcome is identical to [`bound_in_memory`] by construction.
 ///
@@ -315,128 +601,52 @@ pub fn bound_dataflow(
     k: usize,
     config: &BoundingConfig,
 ) -> Result<BoundingOutcome, DistError> {
-    validate(graph, objective, k)?;
-    run_bounding(
-        graph,
-        objective,
-        k,
-        config,
-        |state, undecided| bounds_via_pipeline(pipeline, graph, state, undecided),
-        |sample, index| {
-            // The threshold is an order statistic of the sampled bound
-            // values; select it with the engine's O(1)-worker-memory
-            // `kth_largest` (bit-bisection over counting passes) instead
-            // of a driver-side sort. The bisection lands exactly on the
-            // attained element, so the value matches the in-memory sort
-            // bit for bit — `run_bounding` stays driver-agnostic.
-            //
-            // Honest scope note: the sample itself is assembled on the
-            // driver (the decision code is shared with the in-memory
-            // driver, which is what guarantees outcome equality), so
-            // this moves the *selection* onto the engine, not the
-            // table. Keeping the bound table engine-resident end to end
-            // is a tracked ROADMAP item.
-            if index == 0 || sample.is_empty() {
-                return Ok(None);
-            }
-            let sampled = pipeline.from_vec(sample.to_vec());
-            Ok(Some(sampled.kth_largest(index as u64)?))
-        },
-    )
+    bound_dataflow_with_stats(pipeline, graph, objective, k, config).map(|(outcome, _)| outcome)
 }
 
-/// One pass of penalty computation on the engine (the §5 pipeline shape).
-fn bounds_via_pipeline(
+/// [`bound_dataflow`] plus the driver-side memory accounting that proves
+/// the bound table stayed engine-resident: `peak_pass_bytes` covers only
+/// the collected candidate lists.
+///
+/// # Errors
+///
+/// Returns an error if the objective does not match the graph, `k`
+/// exceeds the ground set, or spill I/O fails.
+pub fn bound_dataflow_with_stats(
     pipeline: &Pipeline,
-    graph: &SimilarityGraph,
-    state: &State,
-    undecided: &[NodeId],
-) -> Result<Vec<Bounds>, DistError> {
-    let undecided_ids: Vec<u64> = undecided.iter().map(|v| v.raw()).collect();
-    let nodes = pipeline.from_vec(undecided_ids.clone());
-
-    // Fan the neighbor lists of undecided points out to edge triples
-    // keyed by the *neighbor*, so its status can be joined in.
-    let fanned: PCollection<(u64, (u64, f32))> = nodes.flat_map(|v| {
-        let vid = NodeId::new(v);
-        graph.edges(vid).map(move |(w, s)| (w.raw(), (v, s))).collect::<Vec<_>>()
-    })?;
-
-    // Status sets as keyed collections (the join's second and third arm).
-    let included: Vec<(u64, ())> = state.included.iter().map(|v| (v.raw(), ())).collect();
-    let excluded: Vec<(u64, ())> = state.excluded.iter().map(|v| (v.raw(), ())).collect();
-    let included = pipeline.from_vec(included);
-    let excluded = pipeline.from_vec(excluded);
-
-    // Three-way join on the neighbor id: every edge learns its far
-    // endpoint's status, then flips back to being keyed by the undecided
-    // point with the weight tagged (counts-for-min, counts-for-max).
-    let tagged: PCollection<(u64, (u64, f32, bool, bool))> =
-        fanned.co_group_3(&included, &excluded)?.flat_map(|(w, (edges, inc, exc))| {
-            let w_included = !inc.is_empty();
-            let w_excluded = !exc.is_empty();
-            edges
-                .into_iter()
-                .map(move |(v, s)| (v, (w, s, !w_excluded, w_included)))
-                .collect::<Vec<_>>()
-        })?;
-
-    // Per-point reduction. Contributions are ordered by neighbor id before
-    // summing so the floating-point sums match the in-memory driver
-    // exactly. The outer join with the undecided set keeps isolated points
-    // (no surviving edges) in the output.
-    let keyed_undecided: PCollection<(u64, ())> =
-        pipeline.from_vec(undecided_ids.iter().map(|&v| (v, ())).collect::<Vec<_>>());
-    let penalties: PCollection<(u64, f64, f64)> =
-        keyed_undecided.co_group_2(&tagged)?.map(move |(v, (_, mut contributions))| {
-            contributions.sort_by_key(|&(w, _, _, _)| w);
-            let mut min_penalty = 0.0f64;
-            let mut max_penalty = 0.0f64;
-            for &(_, s, counts_for_min, counts_for_max) in &contributions {
-                if counts_for_min {
-                    min_penalty += f64::from(s);
-                }
-                if counts_for_max {
-                    max_penalty += f64::from(s);
-                }
-            }
-            (v, min_penalty, max_penalty)
-        })?;
-
-    let mut bounds: Vec<Bounds> = penalties
-        .collect()?
-        .into_iter()
-        .map(|(node, min_penalty, max_penalty)| Bounds { node, min_penalty, max_penalty })
-        .collect();
-    bounds.sort_by_key(|b| b.node);
-    Ok(bounds)
-}
-
-/// The shared grow/shrink driver. `compute_bounds` produces the per-pass
-/// bound table for the current undecided set and `select_threshold`
-/// picks the 1-based `index`-th largest of a sampled statistic (`None`
-/// when the sample is empty); everything downstream is common, which is
-/// what guarantees in-memory/dataflow equality — both drivers feed the
-/// same samples and both selectors return the attained element exactly.
-fn run_bounding<F, S>(
     graph: &SimilarityGraph,
     objective: &PairwiseObjective,
     k: usize,
     config: &BoundingConfig,
-    mut compute_bounds: F,
-    mut select_threshold: S,
-) -> Result<BoundingOutcome, DistError>
-where
-    F: FnMut(&State, &[NodeId]) -> Result<Vec<Bounds>, DistError>,
-    S: FnMut(&[f64], usize) -> Result<Option<f64>, DistError>,
-{
+) -> Result<(BoundingOutcome, BoundingStats), DistError> {
+    validate(graph, objective, k)?;
+    let mut backend = DataflowBackend {
+        pipeline,
+        graph,
+        objective,
+        mode: config.mode,
+        mean_utility: mean_utility(objective, graph.num_nodes()),
+    };
+    run_bounding(graph, k, config, &mut backend)
+}
+
+/// The shared grow/shrink driver. The backend produces per-pass candidate
+/// lists; everything downstream — thresholds already applied, the sorted
+/// capped decisions, the state updates — is common code, which is what
+/// guarantees in-memory/dataflow equality.
+fn run_bounding(
+    graph: &SimilarityGraph,
+    k: usize,
+    config: &BoundingConfig,
+    backend: &mut dyn PassBackend,
+) -> Result<(BoundingOutcome, BoundingStats), DistError> {
     let n = graph.num_nodes();
-    let mean_utility =
-        objective.utilities().iter().map(|&u| f64::from(u)).sum::<f64>() / (n.max(1)) as f64;
     let mut state = State { included: NodeSet::new(n), excluded: NodeSet::new(n), k };
+    let mut stats = BoundingStats::default();
     let mut grow_rounds = 0usize;
     let mut shrink_rounds = 0usize;
     let mut pass = 0u64;
+    let exact = config.is_exact();
 
     for _cycle in 0..config.max_cycles {
         if state.k_remaining() == 0 {
@@ -449,31 +659,26 @@ where
         if undecided.is_empty() {
             break;
         }
-        let bounds = compute_bounds(&state, &undecided)?;
         grow_rounds += 1;
         pass += 1;
         let k_rem = state.k_remaining();
-        let derived = derive(&bounds, objective, k_rem, undecided.len());
-        let sample: Vec<f64> = derived
-            .iter()
-            .filter(|b| {
-                in_sample(
-                    &config.mode,
-                    pass,
-                    0,
-                    b.node,
-                    objective.utility(NodeId::new(b.node)),
-                    mean_utility,
-                )
-            })
-            .map(|b| b.umax)
-            .collect();
-        let index = threshold_index(&config.mode, k_rem, sample.len());
-        if let Some(threshold) = select_threshold(&sample, index)? {
-            for node in decide_grow(&derived, threshold, k_rem) {
-                state.included.insert(NodeId::new(node));
-                changed = true;
-            }
+        let spec = PassSpec {
+            pass,
+            phase: 0,
+            k_effective: k_rem,
+            q: completion_ratio(k_rem, undecided.len()),
+            exact,
+            grow: true,
+        };
+        let result = backend.run_pass(&state, &undecided, spec)?;
+        stats.observe_pass(
+            result.driver_bytes,
+            result.candidates.len(),
+            state.state_bytes(undecided.len()),
+        );
+        for node in decide_grow(result.candidates, k_rem) {
+            state.included.insert(NodeId::new(node));
+            changed = true;
         }
         if state.k_remaining() == 0 {
             break;
@@ -484,36 +689,30 @@ where
         if undecided.is_empty() {
             break;
         }
-        let bounds = compute_bounds(&state, &undecided)?;
         shrink_rounds += 1;
         pass += 1;
         let k_rem = state.k_remaining();
-        let exact = config.is_exact();
-        let derived = derive(&bounds, objective, k_rem, undecided.len());
-        let sample: Vec<f64> = derived
-            .iter()
-            .filter(|b| {
-                in_sample(
-                    &config.mode,
-                    pass,
-                    1,
-                    b.node,
-                    objective.utility(NodeId::new(b.node)),
-                    mean_utility,
-                )
-            })
-            .map(|b| if exact { b.umin } else { b.uexp })
-            .collect();
         // The exact threshold is the k-th largest worst case; the
         // approximate one keeps a SAFETY_POOL_FACTOR·k expected-best pool.
         let k_effective = if exact { k_rem } else { SAFETY_POOL_FACTOR * k_rem };
-        let index = threshold_index(&config.mode, k_effective, sample.len());
-        if let Some(threshold) = select_threshold(&sample, index)? {
-            let max_excludable = undecided.len().saturating_sub(k_rem);
-            for node in decide_shrink(&derived, exact, threshold, max_excludable) {
-                state.excluded.insert(NodeId::new(node));
-                changed = true;
-            }
+        let spec = PassSpec {
+            pass,
+            phase: 1,
+            k_effective,
+            q: completion_ratio(k_rem, undecided.len()),
+            exact,
+            grow: false,
+        };
+        let result = backend.run_pass(&state, &undecided, spec)?;
+        stats.observe_pass(
+            result.driver_bytes,
+            result.candidates.len(),
+            state.state_bytes(undecided.len()),
+        );
+        let max_excludable = undecided.len().saturating_sub(k_rem);
+        for node in decide_shrink(result.candidates, max_excludable) {
+            state.excluded.insert(NodeId::new(node));
+            changed = true;
         }
 
         if !changed {
@@ -531,14 +730,26 @@ where
     let included: Vec<NodeId> = state.included.iter().collect();
     let remaining = state.undecided(n);
     let k_remaining = state.k_remaining();
-    Ok(BoundingOutcome {
-        excluded_count: state.excluded.len(),
-        included,
-        remaining,
-        grow_rounds,
-        shrink_rounds,
-        k_remaining,
-    })
+    Ok((
+        BoundingOutcome {
+            excluded_count: state.excluded.len(),
+            included,
+            remaining,
+            grow_rounds,
+            shrink_rounds,
+            k_remaining,
+        },
+        stats,
+    ))
+}
+
+/// The uniform-completion ratio `q = k_rem / |undecided|` of Def. 4.5.
+fn completion_ratio(k_remaining: usize, undecided_len: usize) -> f64 {
+    if undecided_len == 0 {
+        0.0
+    } else {
+        (k_remaining as f64 / undecided_len as f64).clamp(0.0, 1.0)
+    }
 }
 
 #[cfg(test)]
@@ -625,6 +836,28 @@ mod tests {
             let df = bound_dataflow(&pipeline, &graph, &objective, 3, &config).unwrap();
             assert_eq!(mem, df);
         }
+    }
+
+    #[test]
+    fn dataflow_driver_collects_only_candidates() {
+        let (graph, objective) = figure1_instance();
+        let pipeline = Pipeline::new(3).unwrap();
+        let config = BoundingConfig::exact();
+        let (mem, mem_stats) = bound_in_memory_with_stats(&graph, &objective, 3, &config).unwrap();
+        let (df, df_stats) =
+            bound_dataflow_with_stats(&pipeline, &graph, &objective, 3, &config).unwrap();
+        assert_eq!(mem, df);
+        assert_eq!(mem_stats.passes, df_stats.passes);
+        assert_eq!(mem_stats.peak_candidates, df_stats.peak_candidates);
+        // The in-memory driver pays for the full table; the dataflow
+        // driver only for candidate lists.
+        assert!(mem_stats.peak_pass_bytes > df_stats.peak_pass_bytes);
+        assert_eq!(
+            df_stats.peak_pass_bytes,
+            (df_stats.peak_candidates * size_of::<(u64, f64)>()) as u64
+        );
+        // The status side-inputs were broadcast and metered.
+        assert!(pipeline.metrics().bytes_broadcast > 0);
     }
 
     #[test]

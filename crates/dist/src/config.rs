@@ -22,7 +22,7 @@ pub struct BoundingConfig {
     pub(crate) max_cycles: usize,
 }
 
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub(crate) enum BoundingMode {
     /// Thresholds are the true k-th largest bounds over all undecided
     /// points (Lemmas 4.3 / 4.4 verbatim).

@@ -63,7 +63,10 @@ mod pipeline;
 mod score;
 mod theorem;
 
-pub use bounding::{bound_dataflow, bound_in_memory, BoundingOutcome};
+pub use bounding::{
+    bound_dataflow, bound_dataflow_with_stats, bound_in_memory, bound_in_memory_with_stats,
+    BoundingOutcome, BoundingStats,
+};
 pub use config::{
     BoundingConfig, DeltaSchedule, DistGreedyConfig, PartitionStyle, SamplingStrategy,
 };

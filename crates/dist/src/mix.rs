@@ -1,19 +1,11 @@
-//! The crate's shared deterministic mixer: splitmix64. Both the bounding
-//! sampling coin and the dataflow partition hash derive from it, so their
-//! dispersion properties stay in lockstep.
-
-/// splitmix64 finalizer over a pre-combined state: well-dispersed,
-/// order-independent, and stable across platforms.
-pub(crate) fn splitmix64(state: u64) -> u64 {
-    let mut z = state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+//! The crate's deterministic mixer, delegating to the engine's canonical
+//! splitmix64 ([`submod_dataflow::splitmix64`]) so the bounding sampling
+//! coin, the dataflow `sample` operators, and the partition hash all share
+//! one dispersion kernel.
 
 /// Mixes a `(seed, node)` pair into 64 dispersed bits.
 pub(crate) fn mix_seed_node(seed: u64, node: u64) -> u64 {
-    splitmix64(seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    submod_dataflow::mix_seed_key(seed, node)
 }
 
 #[cfg(test)]
@@ -28,5 +20,21 @@ mod tests {
         // Low-bit inputs must not produce low-bit-only outputs.
         let out = mix_seed_node(0, 1);
         assert!(out.count_ones() > 8, "poor dispersion: {out:#x}");
+    }
+
+    /// The delegation must not have changed the mixed bits: the partition
+    /// assignments and sampling coins of recorded runs depend on them.
+    #[test]
+    fn matches_the_historical_splitmix64_values() {
+        fn reference(state: u64) -> u64 {
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        for (seed, node) in [(0u64, 0u64), (1, 2), (17, 93), (u64::MAX, 12345)] {
+            let expected = reference(seed ^ node.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert_eq!(mix_seed_node(seed, node), expected);
+        }
     }
 }

@@ -116,6 +116,34 @@ fn bounding_is_thread_count_invariant_and_dataflow_matches() {
     }
 }
 
+/// The engine-resident bounding path under a crushing 2 KiB worker
+/// budget: spills everywhere, yet outcomes *and* the driver-side memory
+/// accounting stay bitwise-identical at every thread count and match the
+/// in-memory reference.
+#[test]
+fn engine_resident_bounding_is_invariant_under_memory_pressure() {
+    let (graph, objective) = instance(80, 53);
+    for config in [
+        BoundingConfig::exact(),
+        BoundingConfig::approximate(0.5, SamplingStrategy::Uniform, 7).expect("config"),
+    ] {
+        invariant("engine-resident bounding (2 KiB budget)", || {
+            let (mem, _) = submod_dist::bound_in_memory_with_stats(&graph, &objective, 12, &config)
+                .expect("in-memory");
+            let pipeline = Pipeline::builder()
+                .workers(4)
+                .memory_budget(submod_dataflow::MemoryBudget::bytes(2048))
+                .build()
+                .expect("pipeline");
+            let (df, stats) =
+                submod_dist::bound_dataflow_with_stats(&pipeline, &graph, &objective, 12, &config)
+                    .expect("dataflow");
+            assert_eq!(mem, df, "drivers diverged under memory pressure");
+            (df, stats)
+        });
+    }
+}
+
 #[test]
 fn full_selection_pipeline_is_thread_count_invariant() {
     let (graph, objective) = instance(110, 41);

@@ -18,6 +18,11 @@
 //! - tasks spawned *from inside a task* land in a shared global injector;
 //! - an idle worker pops its own deque first, then the injector, then
 //!   steals from the back of a sibling's deque;
+//! - a worker that finds nothing runnable **parks on a condition
+//!   variable** (after a handful of yields for low-latency pickup):
+//!   spawns unpark one worker, the final completion unparks everyone.
+//!   Idle workers burn zero CPU — there is no spin loop and no
+//!   sleep-polling, which [`idle_poll_count`] lets tests assert;
 //! - a panicking task poisons the region: queued tasks are drained and
 //!   dropped, and the first captured payload is re-raised on the caller's
 //!   thread once every worker has finished
@@ -54,7 +59,9 @@
 mod pool;
 mod threads;
 
-pub use pool::{join, parallel_map, parallel_map_result, scope, steal_count, Scope};
+pub use pool::{
+    idle_poll_count, join, parallel_map, parallel_map_result, park_count, scope, steal_count, Scope,
+};
 pub use threads::{current_num_threads, in_worker, set_num_threads, with_threads};
 
 #[cfg(test)]

@@ -12,7 +12,7 @@ use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 
 /// Tasks per worker that [`parallel_map`] aims for: small enough that an
 /// uneven workload leaves chunks to steal, large enough that queue
@@ -28,6 +28,27 @@ static STEALS: AtomicU64 = AtomicU64::new(0);
 /// See [`STEALS`].
 pub fn steal_count() -> u64 {
     STEALS.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of condvar parks across all regions: a worker found
+/// no runnable task and went to sleep on the region's condition variable
+/// (instead of spinning or sleep-polling). Exposed for the pool's tests.
+static PARKS: AtomicU64 = AtomicU64::new(0);
+
+/// See [`PARKS`].
+pub fn park_count() -> u64 {
+    PARKS.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of empty idle polls (a worker scanned every queue and
+/// found nothing). With condvar parking this stays bounded by
+/// O(workers) per region — the pool's no-busy-wait regression tests
+/// assert it does not grow with how *long* workers sit idle.
+static IDLE_POLLS: AtomicU64 = AtomicU64::new(0);
+
+/// See [`IDLE_POLLS`].
+pub fn idle_poll_count() -> u64 {
+    IDLE_POLLS.load(Ordering::Relaxed)
 }
 
 /// A queued task: boxed so heterogeneous closures share one deque. The
@@ -52,12 +73,21 @@ pub struct Scope<'scope> {
     locals: Vec<Mutex<VecDeque<Job<'scope>>>>,
     /// Tasks spawned but not yet completed (or dropped by poisoning).
     outstanding: AtomicUsize,
+    /// Tasks queued but not yet popped — the conservative "is there
+    /// anything to run?" signal the parking protocol checks.
+    queued: AtomicUsize,
     /// Round-robin cursor for seeding pre-region spawns.
     seed_cursor: AtomicUsize,
     /// Set when a task panicked: queued tasks are drained and dropped.
     poisoned: AtomicBool,
     /// First captured panic payload, re-raised after the region parks.
     panic: Mutex<Option<Box<dyn Any + Send + 'static>>>,
+    /// Parking lot for idle workers: a worker that finds no runnable task
+    /// waits on this condvar; [`Scope::spawn`] unparks one worker per new
+    /// task and the last completion wakes everyone so the region can
+    /// exit. No idle worker ever spins or sleep-polls.
+    parking: Mutex<()>,
+    wakeup: Condvar,
 }
 
 impl<'scope> Scope<'scope> {
@@ -68,9 +98,12 @@ impl<'scope> Scope<'scope> {
             injector: Mutex::new(VecDeque::new()),
             locals: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
             outstanding: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
             seed_cursor: AtomicUsize::new(0),
             poisoned: AtomicBool::new(false),
             panic: Mutex::new(None),
+            parking: Mutex::new(()),
+            wakeup: Condvar::new(),
         }
     }
 
@@ -85,6 +118,10 @@ impl<'scope> Scope<'scope> {
             return;
         }
         self.outstanding.fetch_add(1, Ordering::SeqCst);
+        // `queued` rises *before* the push: a racing worker that pops the
+        // job immediately must never decrement the counter below zero. A
+        // parker glimpsing the transient over-count merely re-polls once.
+        self.queued.fetch_add(1, Ordering::SeqCst);
         let job: Job<'scope> = Box::new(f);
         if in_worker() {
             // Spawned from inside a task: every worker may pick it up.
@@ -93,6 +130,12 @@ impl<'scope> Scope<'scope> {
             let w = self.seed_cursor.fetch_add(1, Ordering::Relaxed) % self.threads;
             self.locals[w].lock().expect("local deque").push_back(job);
         }
+        // Unpark one idle worker. Taking the parking lock first makes the
+        // wakeup race-free: a worker checks `queued` under this lock
+        // before waiting, so it either sees the new task or receives the
+        // notification.
+        let _guard = self.parking.lock().expect("parking mutex");
+        self.wakeup.notify_one();
     }
 
     /// Runs the region to completion: the calling thread becomes worker 0
@@ -124,7 +167,7 @@ impl<'scope> Scope<'scope> {
     /// then steal from a sibling; exit once nothing is outstanding.
     fn work(&self, me: usize) {
         let _guard = enter_worker();
-        // Consecutive empty polls; drives the idle backoff below.
+        // Consecutive empty polls; drives the idle parking below.
         let mut idle_polls = 0u32;
         loop {
             if self.poisoned.load(Ordering::SeqCst) {
@@ -139,36 +182,68 @@ impl<'scope> Scope<'scope> {
                     if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| job(self))) {
                         self.panic.lock().expect("panic slot").get_or_insert(payload);
                         self.poisoned.store(true, Ordering::SeqCst);
+                        self.wake_all();
                     }
-                    self.outstanding.fetch_sub(1, Ordering::SeqCst);
+                    if self.outstanding.fetch_sub(1, Ordering::SeqCst) == 1 {
+                        // Last task done: wake every parked worker so the
+                        // region can exit.
+                        self.wake_all();
+                    }
                 }
                 None => {
                     // Another worker still runs a task that may spawn
                     // follow-ups, so this worker cannot exit yet. Yield
-                    // a few times for low-latency pickup, then back off
-                    // to short sleeps so a long-tail task does not pin
-                    // every idle worker at 100 % CPU.
+                    // a few times for low-latency pickup, then park on
+                    // the condvar: zero CPU until a spawn, the final
+                    // completion, or a poisoning unparks us.
+                    IDLE_POLLS.fetch_add(1, Ordering::Relaxed);
                     idle_polls += 1;
                     if idle_polls < 16 {
                         std::thread::yield_now();
                     } else {
-                        std::thread::sleep(std::time::Duration::from_micros(100));
+                        self.park();
                     }
                 }
             }
         }
     }
 
+    /// Blocks until something changes: a task is queued or the region has
+    /// nothing left outstanding. The `queued` check under the parking
+    /// lock pairs with the lock acquisition in [`Scope::spawn`], so a
+    /// wakeup can never be lost. Parking is deliberately allowed in a
+    /// *poisoned* region too — the queues were drained before we got
+    /// here, and the straggler whose completion zeroes `outstanding`
+    /// performs a `wake_all`; refusing to wait would leave every idle
+    /// worker hot-spinning on the queue locks for the straggler's whole
+    /// runtime.
+    fn park(&self) {
+        let guard = self.parking.lock().expect("parking mutex");
+        if self.queued.load(Ordering::SeqCst) == 0 && self.outstanding.load(Ordering::SeqCst) != 0 {
+            PARKS.fetch_add(1, Ordering::Relaxed);
+            drop(self.wakeup.wait(guard).expect("parking condvar"));
+        }
+    }
+
+    /// Wakes every parked worker (region exit or poisoning).
+    fn wake_all(&self) {
+        let _guard = self.parking.lock().expect("parking mutex");
+        self.wakeup.notify_all();
+    }
+
     fn next_job(&self, me: usize) -> Option<Job<'scope>> {
         if let Some(job) = self.locals[me].lock().expect("local deque").pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
         if let Some(job) = self.injector.lock().expect("injector").pop_front() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
             return Some(job);
         }
         for offset in 1..self.threads {
             let victim = (me + offset) % self.threads;
             if let Some(job) = self.locals[victim].lock().expect("victim deque").pop_back() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
                 STEALS.fetch_add(1, Ordering::Relaxed);
                 return Some(job);
             }
@@ -185,7 +260,10 @@ impl<'scope> Scope<'scope> {
             queue.clear();
         }
         if dropped > 0 {
-            self.outstanding.fetch_sub(dropped, Ordering::SeqCst);
+            self.queued.fetch_sub(dropped, Ordering::SeqCst);
+            if self.outstanding.fetch_sub(dropped, Ordering::SeqCst) == dropped {
+                self.wake_all();
+            }
         }
     }
 }

@@ -6,7 +6,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::thread;
 use std::time::{Duration, Instant};
-use submod_exec::{join, parallel_map, scope, steal_count, with_threads};
+use submod_exec::{
+    idle_poll_count, join, parallel_map, park_count, scope, steal_count, with_threads,
+};
 
 /// Spins until `predicate` holds, failing the test after 30 s — long
 /// enough for any scheduler hiccup, short enough to catch a lost-task
@@ -139,6 +141,66 @@ fn results_are_identical_across_thread_counts() {
             with_threads(threads, || parallel_map(input.clone(), |x| (x.sqrt() * 1e6).to_bits()));
         assert_eq!(got, reference, "thread count {threads} changed results");
     }
+}
+
+#[test]
+fn idle_workers_park_on_the_condvar() {
+    with_threads(4, || {
+        let parks_before = park_count();
+        // One straggler holds the region open while the other three
+        // workers run dry: they must end up parked, not polling.
+        parallel_map((0..4usize).collect(), |i| {
+            if i == 0 {
+                thread::sleep(Duration::from_millis(200));
+            }
+            i
+        });
+        assert!(park_count() > parks_before, "idle workers never parked");
+    });
+}
+
+/// The no-busy-wait regression gate: while a straggler keeps a region
+/// open, idle workers must be *asleep on the condvar*, not polling the
+/// queues. The old 100 µs sleep backoff would re-scan the queues ~10 000
+/// times per second per idle worker (≈ 9 000 polls during this test);
+/// parked workers poll O(1) times per idle episode regardless of how
+/// long it lasts.
+#[test]
+fn idle_workers_do_not_poll_while_parked() {
+    with_threads(4, || {
+        let polls_before = idle_poll_count();
+        parallel_map((0..4usize).collect(), |i| {
+            if i == 0 {
+                thread::sleep(Duration::from_millis(300));
+            }
+            i
+        });
+        let polls = idle_poll_count() - polls_before;
+        // 3 idle workers × (16 yields + a few park/wake cycles), plus
+        // slack for concurrently running tests that share the global
+        // counter. Sleep-polling at 100 µs would alone contribute ~9 000.
+        assert!(polls < 2_000, "idle workers polled {polls} times — busy-wait regression");
+    });
+}
+
+#[test]
+fn parked_workers_wake_for_late_spawned_tasks() {
+    with_threads(4, || {
+        let hits = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                // By the time this follow-up is spawned the other three
+                // workers have long parked; the spawn must unpark one or
+                // the region deadlocks (the 30 s harness catches that).
+                thread::sleep(Duration::from_millis(150));
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.into_inner(), 2);
+    });
 }
 
 #[test]

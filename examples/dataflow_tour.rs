@@ -36,6 +36,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         joined.filter(|(_, (deg, sol, _))| !deg.is_empty() && !sol.is_empty())?.count()?;
     println!("nodes with degree info that are in the solution: {in_solution}");
 
+    // Broadcast side-input: the same membership question answered without
+    // a shuffle — the solution set rides to every worker as a bitset.
+    let members = pipeline.broadcast_set(5_000, (0u64..500).map(|v| v * 10));
+    let via_broadcast = degrees.filter(move |(v, _)| members.contains(*v))?.count()?;
+    println!("same count via a broadcast side-input join: {via_broadcast}");
+
+    // Keyed combiner: degree histogram with map-side partial aggregation
+    // (duplicated keys collapse before the shuffle).
+    let histogram =
+        degrees.map(|(_, d)| (d, 1u64))?.aggregate_per_key(0u64, |a, c| a + c, |a, b| a + b)?;
+    println!("distinct degree values: {}", histogram.count()?);
+
+    // Deterministic seeded sampling: identical at any shard/thread count.
+    let bernoulli = degrees.sample_bernoulli(42, |(v, _)| *v, |_| 0.01)?;
+    let reservoir = degrees.sample_reservoir(42, |(v, _)| *v, 25)?;
+    println!(
+        "samples: Bernoulli(p = 1 %) drew {}, reservoir drew {}",
+        bernoulli.count()?,
+        reservoir.count()?
+    );
+
     // Distributed order statistics without materializing the data.
     let utility_values = utilities.map(|(_, u)| u)?;
     let median = utility_values.kth_largest(2_500)?;
@@ -51,5 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  bytes spilled     : {} KiB", m.bytes_spilled / 1024);
     println!("  peak worker bytes : {} KiB (budget: 256 KiB)", m.peak_worker_bytes / 1024);
     println!("  external merges   : {}", m.external_merges);
+    println!("  combiner flushes  : {}", m.combiner_flushes);
+    println!("  bytes broadcast   : {}", m.bytes_broadcast);
     Ok(())
 }

@@ -17,9 +17,11 @@
 //! When the `CRITERION_OUTPUT_JSON` environment variable names a file,
 //! every result is *also* appended there as one JSON object per line
 //! (`group`, `id`, `mean_ns`, `min_ns`, `max_ns`, `samples`). CI points
-//! it at `BENCH_pr2.json` so the workspace accumulates a per-PR
-//! performance trajectory; appending keeps the scheme safe across the
-//! several bench binaries `cargo bench` launches.
+//! it at the current PR's baseline file (`BENCH_pr<N>.json`) and diffs
+//! it against the committed previous one with `bench-diff`, so the
+//! workspace accumulates a per-PR performance trajectory; appending
+//! keeps the scheme safe across the several bench binaries
+//! `cargo bench` launches.
 
 #![forbid(unsafe_code)]
 
