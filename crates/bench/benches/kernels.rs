@@ -1,0 +1,58 @@
+//! Compute-kernel microbenches: runtime-dispatched SIMD vs the scalar
+//! reference, and the register-blocked batch scan vs a per-query loop.
+//! The graph-build macro numbers these feed are in `benches/knn.rs`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use submod_kernels::{backend, batch_top_k, dot, scalar};
+
+fn vectors(n: usize, dim: usize, seed: u64) -> Vec<f32> {
+    let mut s = seed;
+    (0..n * dim)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+/// Single-pair dot products at the paper's two embedding widths (64-d
+/// CIFAR, 2048-d ImageNet): the dispatched backend against the scalar
+/// reference it must match bitwise.
+fn bench_dot(c: &mut Criterion) {
+    for dim in [64usize, 2048] {
+        let a = vectors(1, dim, 1);
+        let b = vectors(1, dim, 2);
+        let mut group = c.benchmark_group(format!("kernel_dot_{dim}d"));
+        group.bench_function(backend().name(), |bench| bench.iter(|| dot(&a, &b)));
+        group.bench_function("scalar_ref", |bench| bench.iter(|| scalar::dot(&a, &b)));
+        group.finish();
+    }
+}
+
+/// The batch primitive the graph build rides: 256 queries × 10 k rows ×
+/// 64-d, blocked scan vs issuing the same queries one at a time (both on
+/// the dispatched backend — the delta isolates the blocking win).
+fn bench_batch_top_k(c: &mut Criterion) {
+    let dim = 64;
+    let rows = vectors(10_000, dim, 3);
+    let norms: Vec<f32> = rows.chunks_exact(dim).map(|r| scalar::dot(r, r).sqrt()).collect();
+    let queries = vectors(256, dim, 4);
+    let mut group = c.benchmark_group("kernel_batch_top_k_10k_rows_64d");
+    group.sample_size(10);
+    group.bench_function("blocked_256q", |bench| {
+        bench.iter(|| batch_top_k(&queries, &rows, &norms, dim, 10, &[]))
+    });
+    group.bench_function("per_query_256q", |bench| {
+        bench.iter(|| {
+            (0..256)
+                .map(|qi| {
+                    batch_top_k(&queries[qi * dim..(qi + 1) * dim], &rows, &norms, dim, 10, &[])
+                })
+                .collect::<Vec<_>>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dot, bench_batch_top_k);
+criterion_main!(benches);

@@ -39,5 +39,19 @@ fn bench_exact_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_backends, bench_exact_scaling);
+/// The PR 4 headline: the 10-NN graph over 10 k CIFAR-width (64-d)
+/// embeddings, exact backend — the scan the blocked SIMD kernels were
+/// built for. The acceptance gate compares this against the pre-kernel
+/// baseline measured on the same runner (≥ 2× single-thread).
+fn bench_build_10k_64d(c: &mut Criterion) {
+    let data = embeddings(10_000, 64, 7);
+    let mut group = c.benchmark_group("knn_build_10k_64d");
+    group.sample_size(10);
+    group.bench_function("exact", |b| {
+        b.iter(|| build_knn_graph(&data, 10, &KnnBackend::Exact, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends, bench_exact_scaling, bench_build_10k_64d);
 criterion_main!(benches);

@@ -9,10 +9,17 @@
 //!
 //! ## Execution model
 //!
-//! Parallel regions are *scoped*: [`scope`] (and the [`parallel_map`] /
-//! [`join`] conveniences built on it) spawns its workers with
-//! [`std::thread::scope`], so tasks may borrow from the enclosing stack
-//! frame — no `'static` bounds, no `unsafe`. Inside a region:
+//! Parallel regions are *scoped*: tasks handed to [`scope`] (and the
+//! [`parallel_map`] / [`join`] conveniences built on it) may borrow from
+//! the enclosing stack frame — no `'static` bounds. Helper workers are
+//! **persistent**: region entry publishes the region to a
+//! process-lifetime worker set and wakes parked threads instead of
+//! spawning OS threads, so at steady state entering a region costs a
+//! mutex hop and a condvar signal ([`region_entry_nanos`] /
+//! [`region_entry_spawn_count`] meter this; the owner blocks until every
+//! attached helper detaches, which is what keeps borrowed state sound —
+//! the one lifetime-erasing `unsafe impl` and its argument live in
+//! `src/workers.rs`). Inside a region:
 //!
 //! - every worker owns a local deque seeded round-robin at spawn time;
 //! - tasks spawned *from inside a task* land in a shared global injector;
@@ -53,14 +60,16 @@
 //! 3. the `EXEC_NUM_THREADS` environment variable;
 //! 4. [`std::thread::available_parallelism`].
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod pool;
 mod threads;
+mod workers;
 
 pub use pool::{
-    idle_poll_count, join, parallel_map, parallel_map_result, park_count, scope, steal_count, Scope,
+    idle_poll_count, join, parallel_map, parallel_map_result, park_count, region_entry_count,
+    region_entry_nanos, region_entry_spawn_count, scope, steal_count, Scope,
 };
 pub use threads::{current_num_threads, in_worker, set_num_threads, with_threads};
 

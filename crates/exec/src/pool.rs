@@ -1,18 +1,24 @@
 //! The work-stealing region runner: [`scope`], [`join`], and
 //! [`parallel_map`].
 //!
-//! A *region* is one `std::thread::scope` worth of workers servicing a
-//! fixed family of tasks. The caller's thread always participates as
-//! worker 0, so a region with `t` threads spawns only `t − 1` OS
-//! threads, and a region entered with one thread (or from inside another
-//! region) runs inline with zero spawns.
+//! A *region* is a fixed family of tasks serviced by the caller's
+//! thread (always worker 0) plus up to `t − 1` helpers *attached from
+//! the process-lifetime worker set* (`crate::workers`) — region entry
+//! publishes the region and wakes parked persistent workers instead of
+//! spawning OS threads, so at steady state entering a region costs a
+//! mutex hop and a condvar signal ([`region_entry_nanos`] meters it,
+//! [`region_entry_spawn_count`] pins that spawning stops). A region
+//! entered with one thread (or from inside another region) runs inline
+//! with zero dispatch.
 
 use crate::threads::{current_num_threads, enter_worker, in_worker};
+use crate::workers;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Tasks per worker that [`parallel_map`] aims for: small enough that an
 /// uneven workload leaves chunks to steal, large enough that queue
@@ -51,6 +57,37 @@ pub fn idle_poll_count() -> u64 {
     IDLE_POLLS.load(Ordering::Relaxed)
 }
 
+/// Cumulative count of non-inline region entries (a [`scope`] that
+/// dispatched helpers from the persistent worker set).
+static REGION_ENTRIES: AtomicU64 = AtomicU64::new(0);
+
+/// See [`REGION_ENTRIES`].
+pub fn region_entry_count() -> u64 {
+    REGION_ENTRIES.load(Ordering::Relaxed)
+}
+
+/// Cumulative count of OS threads spawned *at region entry* because the
+/// persistent worker set had fewer idle workers than the region wanted.
+/// At steady state this stops growing — the regression tests assert
+/// that repeated region entries add zero.
+static REGION_SPAWNS: AtomicU64 = AtomicU64::new(0);
+
+/// See [`REGION_SPAWNS`].
+pub fn region_entry_spawn_count() -> u64 {
+    REGION_SPAWNS.load(Ordering::Relaxed)
+}
+
+/// Cumulative nanoseconds spent *entering* regions (publishing to the
+/// worker set, spawning any missing workers, waking parked ones) —
+/// the latency the persistent set exists to shrink. Task execution time
+/// is not included.
+static REGION_ENTRY_NANOS: AtomicU64 = AtomicU64::new(0);
+
+/// See [`REGION_ENTRY_NANOS`].
+pub fn region_entry_nanos() -> u64 {
+    REGION_ENTRY_NANOS.load(Ordering::Relaxed)
+}
+
 /// A queued task: boxed so heterogeneous closures share one deque. The
 /// task receives the scope so it can spawn follow-up work (which lands in
 /// the global injector).
@@ -85,9 +122,15 @@ pub struct Scope<'scope> {
     /// Parking lot for idle workers: a worker that finds no runnable task
     /// waits on this condvar; [`Scope::spawn`] unparks one worker per new
     /// task and the last completion wakes everyone so the region can
-    /// exit. No idle worker ever spins or sleep-polls.
+    /// exit. No idle worker ever spins or sleep-polls. The region owner
+    /// also waits here for every attached helper to detach before
+    /// returning.
     parking: Mutex<()>,
     wakeup: Condvar,
+    /// Helpers from the persistent worker set currently servicing this
+    /// region; incremented under the worker-set mutex at attach, drained
+    /// to zero before [`Scope::run`] returns.
+    attached: AtomicUsize,
 }
 
 impl<'scope> Scope<'scope> {
@@ -104,6 +147,7 @@ impl<'scope> Scope<'scope> {
             panic: Mutex::new(None),
             parking: Mutex::new(()),
             wakeup: Condvar::new(),
+            attached: AtomicUsize::new(0),
         }
     }
 
@@ -139,21 +183,36 @@ impl<'scope> Scope<'scope> {
     }
 
     /// Runs the region to completion: the calling thread becomes worker 0
-    /// and scoped OS threads are spawned alongside it — at most
-    /// `threads − 1`, and never more than the queued tasks could occupy
-    /// (a two-task `join` on an 8-thread pool spawns one thread, not 7).
+    /// and up to `threads − 1` helpers attach from the persistent worker
+    /// set — never more than the queued tasks could occupy (a two-task
+    /// `join` on an 8-thread pool requests one helper, not 7), and none
+    /// at all for a single-worker region.
     fn run(&self) {
         let queued = self.outstanding.load(Ordering::SeqCst);
         if queued == 0 {
             return;
         }
-        let workers = self.threads.min(queued);
-        std::thread::scope(|ts| {
-            for w in 1..workers {
-                ts.spawn(move || self.work(w));
-            }
-            self.work(0);
-        });
+        let helpers = self.threads.min(queued) - 1;
+        if helpers > 0 {
+            let entry = Instant::now();
+            let spawned = workers::dispatch(workers::RegionJob {
+                scope: (self as *const Self).cast(),
+                attach: attach_erased,
+                run: run_erased,
+                slots: helpers,
+                next_index: 1,
+            });
+            REGION_ENTRIES.fetch_add(1, Ordering::Relaxed);
+            REGION_SPAWNS.fetch_add(spawned as u64, Ordering::Relaxed);
+            REGION_ENTRY_NANOS.fetch_add(entry.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        // Close the region even if `work` unwinds: the guard retires the
+        // published job and waits out every attached helper, so no
+        // persistent worker can ever touch `self` after `run` leaves —
+        // by return *or* by panic. (The old `std::thread::scope` version
+        // got this from the scope join.)
+        let _close = RegionCloseGuard { scope: if helpers > 0 { Some(self) } else { None } };
+        self.work(0);
     }
 
     /// Re-raises the first captured task panic, if any.
@@ -268,13 +327,73 @@ impl<'scope> Scope<'scope> {
     }
 }
 
+/// Closes a published region on scope exit, unwinding included:
+/// withdraws unclaimed helper slots from the worker set, then blocks
+/// until every attached helper has detached. Dropping this is the
+/// soundness linchpin of the persistent-worker design — only after it
+/// runs may the `Scope` (and the borrows its tasks hold) die.
+struct RegionCloseGuard<'a, 'scope> {
+    scope: Option<&'a Scope<'scope>>,
+}
+
+impl Drop for RegionCloseGuard<'_, '_> {
+    fn drop(&mut self) {
+        let Some(scope) = self.scope else { return };
+        workers::retire((scope as *const Scope<'_>).cast());
+        let mut guard = scope.parking.lock().expect("parking mutex");
+        while scope.attached.load(Ordering::SeqCst) > 0 {
+            guard = scope.wakeup.wait(guard).expect("parking condvar");
+        }
+    }
+}
+
+/// Erased attach hook for the persistent worker set: bumps the region's
+/// attached count. Invoked under the worker-set mutex, before
+/// `workers::retire` could have withdrawn the job.
+#[allow(unsafe_code)]
+unsafe fn attach_erased(scope: *const ()) {
+    // SAFETY: `scope` was published by `Scope::run`, which is still
+    // blocked inside the region (it retires the job and waits for
+    // attached == 0 before returning), so the reference is live. The
+    // lifetime parameter is erased to 'static, which is sound because
+    // no access outlives that wait; layout is lifetime-independent.
+    let scope = unsafe { &*scope.cast::<Scope<'static>>() };
+    scope.attached.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Erased worker body for the persistent worker set: service the region
+/// like a scoped thread used to, then detach. Any panic escaping the
+/// service loop itself (task panics are already caught inside
+/// [`Scope::work`]) is captured and re-raised on the region owner's
+/// thread, and the detach still happens so the owner never deadlocks.
+#[allow(unsafe_code)]
+unsafe fn run_erased(scope: *const (), index: usize) {
+    // SAFETY: as in `attach_erased`; additionally this worker attached,
+    // so the owner's exit wait covers the whole body of this function.
+    let scope = unsafe { &*scope.cast::<Scope<'static>>() };
+    if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| scope.work(index))) {
+        scope.panic.lock().expect("panic slot").get_or_insert(payload);
+        scope.poisoned.store(true, Ordering::SeqCst);
+    }
+    // Detach: return to the worker set's availability count *first*
+    // (so a back-to-back region sees this worker as free), then
+    // decrement under the parking lock and wake the owner (and anyone
+    // parked). After the unlock the worker never touches `scope`.
+    workers::mark_available();
+    let _guard = scope.parking.lock().expect("parking mutex");
+    scope.attached.fetch_sub(1, Ordering::SeqCst);
+    scope.wakeup.notify_all();
+}
+
 /// Creates a parallel region, hands it to `f` for task spawning, runs
 /// every spawned task to completion, and returns `f`'s result.
 ///
-/// Tasks may borrow from the caller's stack (the region is serviced with
-/// `std::thread::scope`) and may spawn further tasks through the scope
-/// reference they receive. If any task panics, remaining queued tasks are
-/// dropped and the first panic payload is re-raised here.
+/// Tasks may borrow from the caller's stack — the region is serviced by
+/// the caller plus helpers attached from the process-lifetime worker
+/// set, and this function does not return until every attached helper
+/// has detached — and may spawn further tasks through the scope
+/// reference they receive. If any task panics, remaining queued tasks
+/// are dropped and the first panic payload is re-raised here.
 ///
 /// ```
 /// let counter = std::sync::atomic::AtomicUsize::new(0);

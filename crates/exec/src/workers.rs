@@ -1,0 +1,168 @@
+//! The process-lifetime worker set.
+//!
+//! Entering a parallel region used to spawn its helper OS threads with
+//! `std::thread::scope` and join them at region exit — microseconds of
+//! `clone`/`join` per entry, which dominates microsecond-scale
+//! transforms. Workers now live for the life of the process: a region
+//! *publishes* itself here, idle workers *attach* (claiming a worker
+//! index), service it exactly as before, and *detach* back to the set's
+//! condvar when the region drains. At steady state a region entry spawns
+//! zero OS threads ([`crate::region_entry_spawn_count`] lets tests pin
+//! that); the set only grows when a region wants more helpers than are
+//! currently idle.
+//!
+//! ## Why the one `unsafe impl` is sound
+//!
+//! Persistent threads cannot borrow a region's stack through safe APIs,
+//! so the published [`RegionJob`] carries a type-erased pointer to the
+//! caller's `Scope` plus two erased entry points. The lifetime argument
+//! is the classic scoped-pool one:
+//!
+//! 1. workers attach **under the set's mutex**, bumping the scope's
+//!    attached count before the job can be observed as claimed;
+//! 2. at region exit the owner calls [`retire`] (same mutex), after
+//!    which no worker can ever see the job again;
+//! 3. the owner then blocks until the attached count returns to zero,
+//!    so the `Scope` — and everything the region's tasks borrow —
+//!    strictly outlives every worker access.
+
+#![allow(unsafe_code)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A published parallel region: an erased `&Scope` plus the entry
+/// points workers drive it with, and how many helper slots remain.
+pub(crate) struct RegionJob {
+    /// Type-erased `*const Scope<'_>`; valid until the owner's `run`
+    /// returns (see module docs).
+    pub(crate) scope: *const (),
+    /// Bumps the scope's attached count. Called under the set mutex.
+    pub(crate) attach: unsafe fn(*const ()),
+    /// Runs one worker (`work(index)` + detach) against the scope.
+    pub(crate) run: unsafe fn(*const (), usize),
+    /// Helper slots not yet claimed; the job leaves the queue at zero.
+    pub(crate) slots: usize,
+    /// Worker index the next attacher receives (the owner is always 0).
+    pub(crate) next_index: usize,
+}
+
+// SAFETY: the scope pointer is only dereferenced by workers that
+// attached under the set mutex, and the publishing thread keeps the
+// Scope alive until every attached worker detached (module docs).
+unsafe impl Send for RegionJob {}
+
+struct State {
+    /// Published regions with unclaimed helper slots, FIFO.
+    queue: VecDeque<RegionJob>,
+    /// Persistent workers ever spawned (only grows, under the mutex).
+    total: usize,
+}
+
+struct WorkerSet {
+    state: Mutex<State>,
+    /// Parks idle persistent workers; notified on every publish.
+    available: Condvar,
+    /// Workers currently attached to a region. Decremented at *detach*
+    /// (before the region owner is woken), not when the worker re-parks
+    /// — so by the time an owner can enter its next region, the workers
+    /// it just released already count as available and back-to-back
+    /// regions never re-spawn.
+    busy: AtomicUsize,
+}
+
+static SET: OnceLock<WorkerSet> = OnceLock::new();
+
+fn set() -> &'static WorkerSet {
+    SET.get_or_init(|| WorkerSet {
+        state: Mutex::new(State { queue: VecDeque::new(), total: 0 }),
+        available: Condvar::new(),
+        busy: AtomicUsize::new(0),
+    })
+}
+
+/// Publishes a region for `job.slots` helpers and wakes idle workers,
+/// spawning new persistent threads only for the shortfall between the
+/// request and the workers not currently serving a region. Returns how
+/// many threads were spawned (zero at steady state).
+pub(crate) fn dispatch(job: RegionJob) -> usize {
+    let s = set();
+    let missing = {
+        let mut state = s.state.lock().expect("worker-set state");
+        let available = state.total.saturating_sub(s.busy.load(Ordering::SeqCst));
+        let missing = job.slots.saturating_sub(available);
+        state.queue.push_back(job);
+        // Count the new workers in before spawning so a concurrent
+        // dispatch doesn't double-spawn; corrected below on failure.
+        state.total += missing;
+        missing
+    };
+    // Spawn outside the lock, and degrade instead of panicking: a
+    // transient OS thread-limit failure must cost this region some
+    // parallelism, not poison the set's mutex and brick every future
+    // region (the owner always completes the region itself, and
+    // `retire` withdraws whatever slots go unclaimed).
+    let mut spawned = 0;
+    for _ in 0..missing {
+        let worker = std::thread::Builder::new().name("submod-exec-worker".into());
+        if worker.spawn(worker_loop).is_err() {
+            break;
+        }
+        spawned += 1;
+    }
+    if spawned < missing {
+        s.state.lock().expect("worker-set state").total -= missing - spawned;
+    }
+    s.available.notify_all();
+    spawned
+}
+
+/// Marks one attached worker as done with its region. Called by the
+/// erased worker body right before it signals the region owner, so the
+/// availability accounting is correct by the time the owner's `run`
+/// returns (the release of the owner's parking mutex orders this
+/// decrement before anything the owner does next).
+pub(crate) fn mark_available() {
+    set().busy.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Withdraws any unclaimed helper slots of `scope` (region exit). A
+/// worker holding the mutex either already attached — the owner's
+/// attached-count wait covers it — or can no longer see the job.
+pub(crate) fn retire(scope: *const ()) {
+    let s = set();
+    s.state.lock().expect("worker-set state").queue.retain(|j| j.scope != scope);
+}
+
+/// A persistent worker: claim a helper slot (attaching under the set
+/// mutex), service the region to completion, return to the condvar.
+fn worker_loop() {
+    let s = set();
+    loop {
+        let (scope, run, index) = {
+            let mut state = s.state.lock().expect("worker-set state");
+            loop {
+                if let Some(front) = state.queue.front_mut() {
+                    let (scope, attach, run) = (front.scope, front.attach, front.run);
+                    let index = front.next_index;
+                    front.next_index += 1;
+                    front.slots -= 1;
+                    if front.slots == 0 {
+                        state.queue.pop_front();
+                    }
+                    s.busy.fetch_add(1, Ordering::SeqCst);
+                    // SAFETY: attaching under the set mutex, before
+                    // `retire` could have removed the job, so the owner
+                    // is still alive and will wait for our detach.
+                    unsafe { attach(scope) };
+                    break (scope, run, index);
+                }
+                state = s.available.wait(state).expect("worker-set condvar");
+            }
+        };
+        // SAFETY: attached above; the owner keeps the Scope (and all
+        // region borrows) alive until our detach inside `run`.
+        unsafe { run(scope, index) };
+    }
+}

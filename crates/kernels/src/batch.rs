@@ -1,0 +1,395 @@
+//! Register-blocked batch drivers over the per-backend micro-kernels.
+//!
+//! The tiling scheme: queries advance in blocks of [`Q_BLOCK`], rows in
+//! tiles of 4. For each row tile the inner loop walks every query of the
+//! block, so one tile's worth of row data is loaded from memory once and
+//! reused `Q_BLOCK` times from cache — the row matrix streams once per
+//! query *block* instead of once per query. Within a query, rows are
+//! visited in strictly ascending index order (full tiles first, then the
+//! sub-tile remainder, which also runs ascending), which together with
+//! the shared [`TopK`] makes every batch result bitwise-identical to the
+//! corresponding one-query scan.
+
+use crate::topk::TopK;
+use crate::{backend, scalar, Backend, Scored};
+
+/// Queries per block: large enough to amortize streaming the row matrix,
+/// small enough that a block of 2048-d queries still fits in L2.
+const Q_BLOCK: usize = 16;
+
+type DotFn = fn(&[f32], &[f32]) -> f32;
+type QuadFn = fn(&[f32], [&[f32]; 4]) -> [f32; 4];
+
+fn dot_fn() -> DotFn {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => crate::x86::dot,
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => crate::neon::dot,
+        _ => scalar::dot,
+    }
+}
+
+fn dot4_fn() -> QuadFn {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => crate::x86::dot4,
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => crate::neon::dot4,
+        _ => scalar::dot4,
+    }
+}
+
+fn l2_fn() -> DotFn {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => crate::x86::l2,
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => crate::neon::l2,
+        _ => scalar::l2,
+    }
+}
+
+fn l2_4_fn() -> QuadFn {
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => crate::x86::l2_4,
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => crate::neon::l2_4,
+        _ => scalar::l2_4,
+    }
+}
+
+/// Cosine similarity from a precomputed dot product and norm product;
+/// zero-norm pairs score 0 (the convention every search path shares).
+#[inline]
+fn cosine(dot: f32, denom: f32) -> f32 {
+    if denom <= f32::MIN_POSITIVE {
+        0.0
+    } else {
+        dot / denom
+    }
+}
+
+/// Top-`k` rows by cosine similarity for a whole block of queries.
+///
+/// `queries` is `nq × dim` row-major, `rows` is `n × dim` row-major with
+/// `row_norms[i] == norm(rows[i])` precomputed. `excludes` is either
+/// empty (no exclusions) or one row id per query to skip (`u32::MAX` for
+/// none). Each returned list is sorted by descending similarity with
+/// ties toward the smaller index and is bitwise-identical to the
+/// one-query scan over the same data.
+///
+/// # Panics
+///
+/// Panics if `dim == 0`, either matrix length is not a multiple of
+/// `dim`, `row_norms` disagrees with the row count, or `excludes` is
+/// non-empty with the wrong length.
+pub fn batch_top_k(
+    queries: &[f32],
+    rows: &[f32],
+    row_norms: &[f32],
+    dim: usize,
+    k: usize,
+    excludes: &[u32],
+) -> Vec<Vec<Scored>> {
+    assert!(dim > 0, "batch_top_k with dim == 0");
+    assert_eq!(queries.len() % dim, 0, "queries not a multiple of dim");
+    assert_eq!(rows.len() % dim, 0, "rows not a multiple of dim");
+    let nq = queries.len() / dim;
+    let n = rows.len() / dim;
+    assert_eq!(row_norms.len(), n, "row_norms length mismatch");
+    assert!(excludes.is_empty() || excludes.len() == nq, "excludes length mismatch");
+    if k == 0 || nq == 0 {
+        return vec![Vec::new(); nq];
+    }
+    let dot1 = dot_fn();
+    let dot4 = dot4_fn();
+    let full = n / 4 * 4;
+    let mut out: Vec<Vec<Scored>> = Vec::with_capacity(nq);
+    for qb in (0..nq).step_by(Q_BLOCK) {
+        let qe = (qb + Q_BLOCK).min(nq);
+        let mut heaps: Vec<TopK> = (qb..qe).map(|_| TopK::new(k)).collect();
+        let qns: Vec<f32> = (qb..qe)
+            .map(|qi| {
+                let q = &queries[qi * dim..(qi + 1) * dim];
+                dot1(q, q).sqrt()
+            })
+            .collect();
+        for r in (0..full).step_by(4) {
+            let quad = [
+                &rows[r * dim..(r + 1) * dim],
+                &rows[(r + 1) * dim..(r + 2) * dim],
+                &rows[(r + 2) * dim..(r + 3) * dim],
+                &rows[(r + 3) * dim..(r + 4) * dim],
+            ];
+            for (qo, qi) in (qb..qe).enumerate() {
+                let q = &queries[qi * dim..(qi + 1) * dim];
+                let d = dot4(q, quad);
+                let exclude = excludes.get(qi).copied().unwrap_or(u32::MAX);
+                for j in 0..4 {
+                    let id = (r + j) as u32;
+                    if id != exclude {
+                        heaps[qo].offer(id, cosine(d[j], row_norms[r + j] * qns[qo]));
+                    }
+                }
+            }
+        }
+        for r in full..n {
+            let row = &rows[r * dim..(r + 1) * dim];
+            for (qo, qi) in (qb..qe).enumerate() {
+                let exclude = excludes.get(qi).copied().unwrap_or(u32::MAX);
+                if r as u32 == exclude {
+                    continue;
+                }
+                let q = &queries[qi * dim..(qi + 1) * dim];
+                heaps[qo].offer(r as u32, cosine(dot1(q, row), row_norms[r] * qns[qo]));
+            }
+        }
+        out.extend(heaps.into_iter().map(TopK::into_sorted));
+    }
+    out
+}
+
+/// Top-`k` of an explicit candidate list by cosine similarity to `query`
+/// — the gather variant the IVF and LSH probes rank with. Candidates are
+/// scored in list order (excluded ids skipped), four rows per
+/// micro-kernel pass, with results bitwise-identical to scoring each
+/// candidate individually.
+///
+/// # Panics
+///
+/// Panics if `query.len() != dim`, any id is out of range for `data`, or
+/// `norms` disagrees with the row count of `data`.
+pub fn cosine_top_k_gather(
+    data: &[f32],
+    norms: &[f32],
+    dim: usize,
+    ids: &[u32],
+    query: &[f32],
+    k: usize,
+    exclude: u32,
+) -> Vec<Scored> {
+    assert!(dim > 0, "cosine_top_k_gather with dim == 0");
+    assert_eq!(query.len(), dim, "query dimension mismatch");
+    assert_eq!(norms.len(), data.len() / dim, "norms length mismatch");
+    if k == 0 {
+        return Vec::new();
+    }
+    let dot1 = dot_fn();
+    let dot4 = dot4_fn();
+    let qn = dot1(query, query).sqrt();
+    let mut heap = TopK::new(k);
+    let mut pending = [0u32; 4];
+    let mut fill = 0usize;
+    for &id in ids {
+        if id == exclude {
+            continue;
+        }
+        pending[fill] = id;
+        fill += 1;
+        if fill == 4 {
+            let quad = [
+                &data[pending[0] as usize * dim..(pending[0] as usize + 1) * dim],
+                &data[pending[1] as usize * dim..(pending[1] as usize + 1) * dim],
+                &data[pending[2] as usize * dim..(pending[2] as usize + 1) * dim],
+                &data[pending[3] as usize * dim..(pending[3] as usize + 1) * dim],
+            ];
+            let d = dot4(query, quad);
+            for j in 0..4 {
+                heap.offer(pending[j], cosine(d[j], norms[pending[j] as usize] * qn));
+            }
+            fill = 0;
+        }
+    }
+    for &id in &pending[..fill] {
+        let i = id as usize;
+        let row = &data[i * dim..(i + 1) * dim];
+        heap.offer(id, cosine(dot1(query, row), norms[i] * qn));
+    }
+    heap.into_sorted()
+}
+
+/// Index and squared distance of the row nearest to `query` (first
+/// minimum wins ties) — the blocked centroid scan of the k-means
+/// assignment step.
+///
+/// # Panics
+///
+/// Panics if `rows` is empty or not a multiple of `query.len()`, or if
+/// `query` is empty.
+pub fn l2_argmin(query: &[f32], rows: &[f32]) -> (u32, f32) {
+    let dim = query.len();
+    assert!(dim > 0, "l2_argmin with dim == 0");
+    assert!(!rows.is_empty(), "l2_argmin over no rows");
+    assert_eq!(rows.len() % dim, 0, "rows not a multiple of dim");
+    let l21 = l2_fn();
+    let l24 = l2_4_fn();
+    let n = rows.len() / dim;
+    let full = n / 4 * 4;
+    let mut best = (0u32, f32::INFINITY);
+    for r in (0..full).step_by(4) {
+        let d = l24(
+            query,
+            [
+                &rows[r * dim..(r + 1) * dim],
+                &rows[(r + 1) * dim..(r + 2) * dim],
+                &rows[(r + 2) * dim..(r + 3) * dim],
+                &rows[(r + 3) * dim..(r + 4) * dim],
+            ],
+        );
+        for j in 0..4 {
+            if d[j] < best.1 {
+                best = ((r + j) as u32, d[j]);
+            }
+        }
+    }
+    for r in full..n {
+        let d = l21(query, &rows[r * dim..(r + 1) * dim]);
+        if d < best.1 {
+            best = (r as u32, d);
+        }
+    }
+    best
+}
+
+/// Dot product of `query` against every row, four rows per micro-kernel
+/// pass — the hoisted-norm scoring primitive `nearest_centroids` ranks
+/// with. Each element is bitwise-identical to the single-row [`crate::dot`].
+///
+/// # Panics
+///
+/// Panics if `query` is empty or `rows` is not a multiple of its length.
+pub fn dot_scores(query: &[f32], rows: &[f32]) -> Vec<f32> {
+    let dim = query.len();
+    assert!(dim > 0, "dot_scores with dim == 0");
+    assert_eq!(rows.len() % dim, 0, "rows not a multiple of dim");
+    let dot1 = dot_fn();
+    let dot4 = dot4_fn();
+    let n = rows.len() / dim;
+    let full = n / 4 * 4;
+    let mut out = Vec::with_capacity(n);
+    for r in (0..full).step_by(4) {
+        let d = dot4(
+            query,
+            [
+                &rows[r * dim..(r + 1) * dim],
+                &rows[(r + 1) * dim..(r + 2) * dim],
+                &rows[(r + 2) * dim..(r + 3) * dim],
+                &rows[(r + 3) * dim..(r + 4) * dim],
+            ],
+        );
+        out.extend_from_slice(&d);
+    }
+    for r in full..n {
+        out.push(dot1(query, &rows[r * dim..(r + 1) * dim]));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(n: usize, dim: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+        let mut s = seed;
+        let rows: Vec<f32> = (0..n * dim)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect();
+        let norms: Vec<f32> = rows.chunks_exact(dim).map(|r| scalar::dot(r, r).sqrt()).collect();
+        (rows, norms)
+    }
+
+    /// One-query reference scan in the exact order `batch_top_k` promises.
+    fn reference_top_k(
+        queries: &[f32],
+        rows: &[f32],
+        norms: &[f32],
+        dim: usize,
+        k: usize,
+        exclude: u32,
+        qi: usize,
+    ) -> Vec<Scored> {
+        let q = &queries[qi * dim..(qi + 1) * dim];
+        let qn = scalar::dot(q, q).sqrt();
+        let mut heap = TopK::new(k);
+        for r in 0..rows.len() / dim {
+            if r as u32 == exclude {
+                continue;
+            }
+            let d = scalar::dot(q, &rows[r * dim..(r + 1) * dim]);
+            heap.offer(r as u32, cosine(d, norms[r] * qn));
+        }
+        heap.into_sorted()
+    }
+
+    #[test]
+    fn batch_matches_one_query_scans() {
+        // 37 queries × 53 rows exercises partial query blocks and row tiles.
+        let dim = 19;
+        let (rows, norms) = matrix(53, dim, 5);
+        let (queries, _) = matrix(37, dim, 11);
+        let excludes: Vec<u32> = (0..37).map(|q| (q % 60) as u32).collect();
+        let batch = batch_top_k(&queries, &rows, &norms, dim, 7, &excludes);
+        for qi in 0..37 {
+            let expect = reference_top_k(&queries, &rows, &norms, dim, 7, excludes[qi], qi);
+            assert_eq!(batch[qi], expect, "query {qi}");
+        }
+    }
+
+    #[test]
+    fn batch_without_excludes_and_k_zero() {
+        let dim = 8;
+        let (rows, norms) = matrix(10, dim, 3);
+        let (queries, _) = matrix(3, dim, 4);
+        let res = batch_top_k(&queries, &rows, &norms, dim, 0, &[]);
+        assert!(res.iter().all(Vec::is_empty));
+        let res = batch_top_k(&queries, &rows, &norms, dim, 4, &[]);
+        for qi in 0..3 {
+            let expect = reference_top_k(&queries, &rows, &norms, dim, 4, u32::MAX, qi);
+            assert_eq!(res[qi], expect);
+        }
+    }
+
+    #[test]
+    fn gather_matches_filtered_scan() {
+        let dim = 6;
+        let (rows, norms) = matrix(30, dim, 9);
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.9).sin()).collect();
+        let ids: Vec<u32> = [4u32, 1, 17, 29, 2, 8, 4, 22, 11].to_vec();
+        let got = cosine_top_k_gather(&rows, &norms, dim, &ids, &query, 3, 17);
+        // Reference: score filtered candidates in order.
+        let qn = scalar::dot(&query, &query).sqrt();
+        let mut heap = TopK::new(3);
+        for &id in ids.iter().filter(|&&id| id != 17) {
+            let i = id as usize;
+            let d = scalar::dot(&query, &rows[i * dim..(i + 1) * dim]);
+            heap.offer(id, cosine(d, norms[i] * qn));
+        }
+        assert_eq!(got, heap.into_sorted());
+    }
+
+    #[test]
+    fn l2_argmin_first_minimum_wins() {
+        let rows = [1.0f32, 1.0, 5.0, 5.0, 1.0, 1.0, 0.0, 0.0, 1.0, 1.0];
+        let (idx, d) = l2_argmin(&[1.0, 1.0], &rows);
+        assert_eq!((idx, d), (0, 0.0));
+        let (idx, _) = l2_argmin(&[0.1, 0.1], &rows);
+        assert_eq!(idx, 3);
+    }
+
+    #[test]
+    fn dot_scores_cover_remainders() {
+        let dim = 5;
+        let (rows, _) = matrix(9, dim, 2);
+        let query: Vec<f32> = (0..dim).map(|i| i as f32 - 2.0).collect();
+        let scores = dot_scores(&query, &rows);
+        assert_eq!(scores.len(), 9);
+        for (r, &s) in scores.iter().enumerate() {
+            assert_eq!(s.to_bits(), scalar::dot(&query, &rows[r * dim..(r + 1) * dim]).to_bits());
+        }
+    }
+}

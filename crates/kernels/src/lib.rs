@@ -1,0 +1,252 @@
+//! # submod_kernels — runtime-dispatched SIMD compute kernels
+//!
+//! The arithmetic floor of the workspace: every distance evaluation in the
+//! k-NN graph build, IVF probe ranking, and k-means now funnels through
+//! this crate. It provides explicit `std::arch` SIMD (AVX2 on `x86_64`,
+//! NEON on `aarch64`) with a safe scalar fallback, selected **once per
+//! process** by runtime feature detection, plus register-blocked batch
+//! primitives that stream the row matrix once per *query block* instead of
+//! once per query.
+//!
+//! ## Determinism contract
+//!
+//! Every kernel — scalar, AVX2, and NEON — accumulates in the **same fixed
+//! 8-lane reduction order** and never uses FMA: lane `l` accumulates
+//! elements `l, l+8, l+16, …` with a plain multiply-then-add, the eight
+//! lane sums are combined left to right, and remainder elements are added
+//! sequentially. Multiplication and addition of `f32` are IEEE-exact, so
+//! the scalar and SIMD paths return **bitwise-identical** results for any
+//! input (including denormals, infinities, and misaligned slices), and the
+//! batch primitives visit rows in exactly the order their one-row
+//! counterparts do. The property tests in `tests/identity.rs` pin this,
+//! and the workspace test suite runs under both `SUBMOD_KERNELS=scalar`
+//! and the default dispatch in CI.
+//!
+//! ## Dispatch policy
+//!
+//! The backend resolves once (first kernel call) from the
+//! `SUBMOD_KERNELS` environment variable:
+//!
+//! - `scalar` — force the portable fallback;
+//! - `auto`, unset, or any other value — detect at runtime: AVX2 when the
+//!   CPU reports it, NEON on `aarch64` (mandatory there), scalar
+//!   otherwise.
+//!
+//! [`backend`] reports the resolved choice; [`Backend::name`] is what the
+//! README and bench output print.
+//!
+//! ## Layout conventions
+//!
+//! Matrices are dense row-major `f32` slices (`n × dim`), matching
+//! `submod_knn::Embeddings::as_flat`. Norms are precomputed by the caller
+//! and hoisted out of every inner loop.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+pub mod scalar;
+mod topk;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+pub use batch::{batch_top_k, cosine_top_k_gather, dot_scores, l2_argmin};
+pub use topk::TopK;
+
+use std::sync::OnceLock;
+
+/// A scored row: `(row index, score)` — cosine similarity for the top-k
+/// kernels, squared L2 distance for [`l2_argmin`].
+pub type Scored = (u32, f32);
+
+/// The instruction-set backend a kernel call executes on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Backend {
+    /// Portable scalar loops in the fixed 8-lane reduction order.
+    Scalar,
+    /// 256-bit AVX2 vectors (x86_64, runtime-detected).
+    Avx2,
+    /// 128-bit NEON vectors ×2 (aarch64, architecturally guaranteed).
+    Neon,
+}
+
+impl Backend {
+    /// Human-readable backend name (`"scalar"`, `"avx2"`, `"neon"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Scalar => "scalar",
+            Backend::Avx2 => "avx2",
+            Backend::Neon => "neon",
+        }
+    }
+}
+
+static BACKEND: OnceLock<Backend> = OnceLock::new();
+
+/// The backend every kernel in this process dispatches to, resolved once
+/// from `SUBMOD_KERNELS` (see the crate docs for the policy).
+pub fn backend() -> Backend {
+    *BACKEND.get_or_init(|| match std::env::var("SUBMOD_KERNELS").as_deref().map(str::trim) {
+        Ok("scalar") => Backend::Scalar,
+        _ => detect(),
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> Backend {
+    if std::arch::is_x86_feature_detected!("avx2") {
+        Backend::Avx2
+    } else {
+        Backend::Scalar
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+fn detect() -> Backend {
+    // NEON is a mandatory part of AArch64.
+    Backend::Neon
+}
+
+#[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+fn detect() -> Backend {
+    Backend::Scalar
+}
+
+/// Dot product of two equal-length vectors in the fixed 8-lane reduction
+/// order.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// ```
+/// assert_eq!(submod_kernels::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::dot(a, b),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::dot(a, b),
+        _ => scalar::dot(a, b),
+    }
+}
+
+/// Squared Euclidean distance between two equal-length vectors in the
+/// fixed 8-lane reduction order.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn l2_distance_squared(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance of mismatched lengths");
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::l2(a, b),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::l2(a, b),
+        _ => scalar::l2(a, b),
+    }
+}
+
+/// Euclidean norm (`sqrt(dot(a, a))`).
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Four dot products of `query` against four rows at once — the
+/// register-blocked micro-kernel the batch drivers tile with. Each result
+/// is bitwise-identical to the corresponding single-row [`dot`].
+///
+/// # Panics
+///
+/// Panics if any row length differs from `query.len()`.
+#[inline]
+pub fn dot4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    for r in rows {
+        assert_eq!(query.len(), r.len(), "dot4 of mismatched lengths");
+    }
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::dot4(query, rows),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::dot4(query, rows),
+        _ => scalar::dot4(query, rows),
+    }
+}
+
+/// Four squared L2 distances of `query` against four rows at once; each
+/// result is bitwise-identical to the single-row [`l2_distance_squared`].
+///
+/// # Panics
+///
+/// Panics if any row length differs from `query.len()`.
+#[inline]
+pub fn l2_4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    for r in rows {
+        assert_eq!(query.len(), r.len(), "l2_4 of mismatched lengths");
+    }
+    match backend() {
+        #[cfg(target_arch = "x86_64")]
+        Backend::Avx2 => x86::l2_4(query, rows),
+        #[cfg(target_arch = "aarch64")]
+        Backend::Neon => neon::l2_4(query, rows),
+        _ => scalar::l2_4(query, rows),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_resolves_once_and_names() {
+        let b = backend();
+        assert_eq!(b, backend());
+        assert!(["scalar", "avx2", "neon"].contains(&b.name()));
+    }
+
+    #[test]
+    fn dot_matches_scalar_reference() {
+        let a: Vec<f32> = (0..131).map(|i| (i as f32).sin()).collect();
+        let b: Vec<f32> = (0..131).map(|i| (i as f32).cos()).collect();
+        assert_eq!(dot(&a, &b).to_bits(), scalar::dot(&a, &b).to_bits());
+        assert_eq!(l2_distance_squared(&a, &b).to_bits(), scalar::l2(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn blocked_kernels_match_single_row() {
+        let q: Vec<f32> = (0..67).map(|i| (i as f32 * 0.7).sin()).collect();
+        let rows: Vec<Vec<f32>> =
+            (0..4).map(|r| (0..67).map(|i| ((i + r) as f32 * 0.3).cos()).collect()).collect();
+        let quad = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+        let d4 = dot4(&q, quad);
+        let l4 = l2_4(&q, quad);
+        for j in 0..4 {
+            assert_eq!(d4[j].to_bits(), dot(&q, &rows[j]).to_bits());
+            assert_eq!(l4[j].to_bits(), l2_distance_squared(&q, &rows[j]).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(dot(&[], &[]), 0.0);
+        assert_eq!(norm(&[]), 0.0);
+        assert_eq!(l2_distance_squared(&[], &[]), 0.0);
+        assert_eq!(dot(&[2.0], &[3.0]), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_lengths_panic() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

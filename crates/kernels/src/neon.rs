@@ -1,0 +1,120 @@
+//! NEON kernels (aarch64). NEON is a mandatory AArch64 feature, so the
+//! `unsafe` here carries only the in-bounds obligation: `vld1q_f32`
+//! reads 4 floats at offsets `i*8` and `i*8 + 4` with `i < len/8`, so
+//! every read stays inside the slice; remainder elements go through the
+//! shared safe tail.
+//!
+//! Determinism: two 4-lane quads emulate the fixed 8-lane accumulator —
+//! `vmulq_f32` / `vaddq_f32` (never `vfmaq`) round each lane exactly
+//! like the scalar multiply-then-add, both quads are spilled into one
+//! 8-float array in lane order, and the same left-to-right reduction as
+//! the scalar backend finishes the sum. Results are bitwise-identical to
+//! [`crate::scalar`].
+
+#![allow(unsafe_code)]
+
+use crate::scalar::{reduce_dot_tail, reduce_l2_tail, LANES};
+use std::arch::aarch64::{
+    float32x4_t, vaddq_f32, vdupq_n_f32, vld1q_f32, vmulq_f32, vst1q_f32, vsubq_f32,
+};
+
+#[inline]
+fn spill(lo: float32x4_t, hi: float32x4_t) -> [f32; LANES] {
+    let mut lanes = [0.0f32; LANES];
+    // SAFETY: `lanes` holds exactly two 128-bit quads.
+    unsafe {
+        vst1q_f32(lanes.as_mut_ptr(), lo);
+        vst1q_f32(lanes.as_mut_ptr().add(4), hi);
+    }
+    lanes
+}
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / LANES;
+    // SAFETY: NEON is mandatory on aarch64; loads stay in bounds
+    // (module docs).
+    unsafe {
+        let (mut lo, mut hi) = (vdupq_n_f32(0.0), vdupq_n_f32(0.0));
+        for i in 0..chunks {
+            let off = i * LANES;
+            let (ap, bp) = (a.as_ptr().add(off), b.as_ptr().add(off));
+            lo = vaddq_f32(lo, vmulq_f32(vld1q_f32(ap), vld1q_f32(bp)));
+            hi = vaddq_f32(hi, vmulq_f32(vld1q_f32(ap.add(4)), vld1q_f32(bp.add(4))));
+        }
+        reduce_dot_tail(spill(lo, hi), a, b, chunks * LANES)
+    }
+}
+
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / LANES;
+    // SAFETY: NEON is mandatory on aarch64; loads stay in bounds
+    // (module docs).
+    unsafe {
+        let (mut lo, mut hi) = (vdupq_n_f32(0.0), vdupq_n_f32(0.0));
+        for i in 0..chunks {
+            let off = i * LANES;
+            let (ap, bp) = (a.as_ptr().add(off), b.as_ptr().add(off));
+            let dl = vsubq_f32(vld1q_f32(ap), vld1q_f32(bp));
+            let dh = vsubq_f32(vld1q_f32(ap.add(4)), vld1q_f32(bp.add(4)));
+            lo = vaddq_f32(lo, vmulq_f32(dl, dl));
+            hi = vaddq_f32(hi, vmulq_f32(dh, dh));
+        }
+        reduce_l2_tail(spill(lo, hi), a, b, chunks * LANES)
+    }
+}
+
+pub fn dot4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    let chunks = query.len() / LANES;
+    // SAFETY: NEON is mandatory on aarch64; loads stay in bounds
+    // (module docs).
+    unsafe {
+        let mut lo = [vdupq_n_f32(0.0); 4];
+        let mut hi = [vdupq_n_f32(0.0); 4];
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qp = query.as_ptr().add(off);
+            let (ql, qh) = (vld1q_f32(qp), vld1q_f32(qp.add(4)));
+            for r in 0..4 {
+                let rp = rows[r].as_ptr().add(off);
+                lo[r] = vaddq_f32(lo[r], vmulq_f32(ql, vld1q_f32(rp)));
+                hi[r] = vaddq_f32(hi[r], vmulq_f32(qh, vld1q_f32(rp.add(4))));
+            }
+        }
+        let done = chunks * LANES;
+        [
+            reduce_dot_tail(spill(lo[0], hi[0]), query, rows[0], done),
+            reduce_dot_tail(spill(lo[1], hi[1]), query, rows[1], done),
+            reduce_dot_tail(spill(lo[2], hi[2]), query, rows[2], done),
+            reduce_dot_tail(spill(lo[3], hi[3]), query, rows[3], done),
+        ]
+    }
+}
+
+pub fn l2_4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    let chunks = query.len() / LANES;
+    // SAFETY: NEON is mandatory on aarch64; loads stay in bounds
+    // (module docs).
+    unsafe {
+        let mut lo = [vdupq_n_f32(0.0); 4];
+        let mut hi = [vdupq_n_f32(0.0); 4];
+        for i in 0..chunks {
+            let off = i * LANES;
+            let qp = query.as_ptr().add(off);
+            let (ql, qh) = (vld1q_f32(qp), vld1q_f32(qp.add(4)));
+            for r in 0..4 {
+                let rp = rows[r].as_ptr().add(off);
+                let dl = vsubq_f32(ql, vld1q_f32(rp));
+                let dh = vsubq_f32(qh, vld1q_f32(rp.add(4)));
+                lo[r] = vaddq_f32(lo[r], vmulq_f32(dl, dl));
+                hi[r] = vaddq_f32(hi[r], vmulq_f32(dh, dh));
+            }
+        }
+        let done = chunks * LANES;
+        [
+            reduce_l2_tail(spill(lo[0], hi[0]), query, rows[0], done),
+            reduce_l2_tail(spill(lo[1], hi[1]), query, rows[1], done),
+            reduce_l2_tail(spill(lo[2], hi[2]), query, rows[2], done),
+            reduce_l2_tail(spill(lo[3], hi[3]), query, rows[3], done),
+        ]
+    }
+}

@@ -1,0 +1,145 @@
+//! Portable reference kernels in the fixed 8-lane reduction order.
+//!
+//! These are both the fallback backend and the ground truth the SIMD
+//! paths are tested against: every other backend must return bitwise
+//! the same `f32` for the same inputs. Lane `l` accumulates elements
+//! `l, l+8, l+16, …`; lane sums combine left to right; remainder
+//! elements append sequentially. No FMA anywhere — multiply and add stay
+//! separate IEEE operations so vector and scalar hardware round
+//! identically.
+
+/// Width of the fixed reduction: one 256-bit AVX2 register, two NEON
+/// quads, or eight scalar accumulators.
+pub(crate) const LANES: usize = 8;
+
+/// Combines eight lane partial sums (left to right) and appends the
+/// elementwise-product tail `a[done..] · b[done..]`.
+#[inline]
+pub(crate) fn reduce_dot_tail(lanes: [f32; LANES], a: &[f32], b: &[f32], done: usize) -> f32 {
+    let mut sum = lanes[0];
+    for &l in &lanes[1..] {
+        sum += l;
+    }
+    for i in done..a.len() {
+        sum += a[i] * b[i];
+    }
+    sum
+}
+
+/// Combines eight lane partial sums (left to right) and appends the
+/// squared-difference tail.
+#[inline]
+pub(crate) fn reduce_l2_tail(lanes: [f32; LANES], a: &[f32], b: &[f32], done: usize) -> f32 {
+    let mut sum = lanes[0];
+    for &l in &lanes[1..] {
+        sum += l;
+    }
+    for i in done..a.len() {
+        let d = a[i] - b[i];
+        sum += d * d;
+    }
+    sum
+}
+
+/// Reference dot product.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / LANES;
+    let mut lanes = [0.0f32; LANES];
+    for i in 0..chunks {
+        let off = i * LANES;
+        for l in 0..LANES {
+            lanes[l] += a[off + l] * b[off + l];
+        }
+    }
+    reduce_dot_tail(lanes, a, b, chunks * LANES)
+}
+
+/// Reference squared L2 distance.
+#[inline]
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / LANES;
+    let mut lanes = [0.0f32; LANES];
+    for i in 0..chunks {
+        let off = i * LANES;
+        for l in 0..LANES {
+            let d = a[off + l] - b[off + l];
+            lanes[l] += d * d;
+        }
+    }
+    reduce_l2_tail(lanes, a, b, chunks * LANES)
+}
+
+/// Reference 4-row blocked dot product: four independent accumulator
+/// sets over one pass of `query`, each row reduced exactly like [`dot`].
+#[inline]
+pub fn dot4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    let chunks = query.len() / LANES;
+    let mut lanes = [[0.0f32; LANES]; 4];
+    for i in 0..chunks {
+        let off = i * LANES;
+        for (r, row) in rows.iter().enumerate() {
+            for l in 0..LANES {
+                lanes[r][l] += query[off + l] * row[off + l];
+            }
+        }
+    }
+    let done = chunks * LANES;
+    [
+        reduce_dot_tail(lanes[0], query, rows[0], done),
+        reduce_dot_tail(lanes[1], query, rows[1], done),
+        reduce_dot_tail(lanes[2], query, rows[2], done),
+        reduce_dot_tail(lanes[3], query, rows[3], done),
+    ]
+}
+
+/// Reference 4-row blocked squared L2 distance.
+#[inline]
+pub fn l2_4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    let chunks = query.len() / LANES;
+    let mut lanes = [[0.0f32; LANES]; 4];
+    for i in 0..chunks {
+        let off = i * LANES;
+        for (r, row) in rows.iter().enumerate() {
+            for l in 0..LANES {
+                let d = query[off + l] - row[off + l];
+                lanes[r][l] += d * d;
+            }
+        }
+    }
+    let done = chunks * LANES;
+    [
+        reduce_l2_tail(lanes[0], query, rows[0], done),
+        reduce_l2_tail(lanes[1], query, rows[1], done),
+        reduce_l2_tail(lanes[2], query, rows[2], done),
+        reduce_l2_tail(lanes[3], query, rows[3], done),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_l2_basic_values() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0];
+        let b = [9.0, 8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        assert_eq!(dot(&a, &b), 165.0);
+        // Σ (a-b)² = 64+36+16+4+0+4+16+36+64 = 240
+        assert_eq!(l2(&a, &b), 240.0);
+    }
+
+    #[test]
+    fn blocked_matches_single() {
+        let q: Vec<f32> = (0..23).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let rows: Vec<Vec<f32>> =
+            (0..4).map(|r| (0..23).map(|i| (i * (r + 1)) as f32 * 0.25 - 1.0).collect()).collect();
+        let quad = [&rows[0][..], &rows[1][..], &rows[2][..], &rows[3][..]];
+        let d = dot4(&q, quad);
+        let l = l2_4(&q, quad);
+        for j in 0..4 {
+            assert_eq!(d[j].to_bits(), dot(&q, &rows[j]).to_bits());
+            assert_eq!(l[j].to_bits(), l2(&q, &rows[j]).to_bits());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! A fixed-capacity top-k tracker shared by every search path.
+//!
+//! Moved here from `submod_knn::brute` so the single-query and batch
+//! kernels select results with literally the same code: a min-heap by
+//! score with ties breaking toward the larger index, so smaller indices
+//! win the kept set and the final ordering is fully deterministic.
+
+use crate::Scored;
+use std::cmp::Ordering;
+
+/// A fixed-capacity top-k tracker (min-heap by score, tie-break by
+/// larger index so smaller indices win overall).
+#[derive(Clone, Debug)]
+pub struct TopK {
+    k: usize,
+    // (score, id): the *worst* kept entry sits at heap[0].
+    heap: Vec<(f32, u32)>,
+}
+
+impl TopK {
+    /// A tracker keeping the `k` best offers.
+    pub fn new(k: usize) -> Self {
+        TopK { k, heap: Vec::with_capacity(k + 1) }
+    }
+
+    /// `true` if `a` is worse than `b` (lower score, or equal score with
+    /// larger id).
+    fn worse(a: (f32, u32), b: (f32, u32)) -> bool {
+        match a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal) {
+            Ordering::Less => true,
+            Ordering::Greater => false,
+            Ordering::Equal => a.1 > b.1,
+        }
+    }
+
+    /// Offers one candidate; kept only if it beats the current worst.
+    pub fn offer(&mut self, id: u32, score: f32) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push((score, id));
+            let mut i = self.heap.len() - 1;
+            while i > 0 {
+                let parent = (i - 1) / 2;
+                if Self::worse(self.heap[i], self.heap[parent]) {
+                    self.heap.swap(i, parent);
+                    i = parent;
+                } else {
+                    break;
+                }
+            }
+        } else if Self::worse(self.heap[0], (score, id)) {
+            self.heap[0] = (score, id);
+            let mut i = 0;
+            loop {
+                let (l, r) = (2 * i + 1, 2 * i + 2);
+                let mut worst = i;
+                if l < self.heap.len() && Self::worse(self.heap[l], self.heap[worst]) {
+                    worst = l;
+                }
+                if r < self.heap.len() && Self::worse(self.heap[r], self.heap[worst]) {
+                    worst = r;
+                }
+                if worst == i {
+                    break;
+                }
+                self.heap.swap(i, worst);
+                i = worst;
+            }
+        }
+    }
+
+    /// Drains into `(id, score)` pairs sorted by descending score, ties
+    /// toward the smaller index.
+    pub fn into_sorted(self) -> Vec<Scored> {
+        let mut entries = self.heap;
+        entries.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+        });
+        entries.into_iter().map(|(score, id)| (id, score)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k_with_deterministic_ties() {
+        let mut top = TopK::new(2);
+        for (id, s) in [(3u32, 0.5f32), (1, 0.9), (2, 0.9), (0, 0.1)] {
+            top.offer(id, s);
+        }
+        assert_eq!(top.into_sorted(), vec![(1, 0.9), (2, 0.9)]);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_nothing() {
+        let mut top = TopK::new(0);
+        top.offer(0, 1.0);
+        assert!(top.into_sorted().is_empty());
+    }
+}

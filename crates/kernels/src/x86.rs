@@ -1,0 +1,127 @@
+//! AVX2 kernels (x86_64). The only `unsafe` in the workspace's compute
+//! path lives here, and it is confined to two obligations:
+//!
+//! 1. **ISA availability** — every `#[target_feature(enable = "avx2")]`
+//!    function is reached only through [`crate::backend`], which verified
+//!    `is_x86_feature_detected!("avx2")` at dispatch time.
+//! 2. **In-bounds loads** — `_mm256_loadu_ps` reads 8 floats at offsets
+//!    `i*8` with `i < len/8`, so every read stays inside the slice;
+//!    remainder elements go through the shared safe tail.
+//!
+//! Determinism: `_mm256_mul_ps` / `_mm256_add_ps` (never FMA) round each
+//! lane exactly like the scalar multiply-then-add, the accumulator is
+//! spilled to an array and reduced by the same left-to-right helper the
+//! scalar backend uses, so results are bitwise-identical to
+//! [`crate::scalar`].
+
+#![allow(unsafe_code)]
+
+use crate::scalar::{reduce_dot_tail, reduce_l2_tail, LANES};
+use std::arch::x86_64::{
+    __m256, _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_setzero_ps, _mm256_storeu_ps,
+    _mm256_sub_ps,
+};
+
+#[inline]
+fn spill(acc: __m256) -> [f32; LANES] {
+    let mut lanes = [0.0f32; LANES];
+    // SAFETY: `lanes` is exactly 8 floats, the width of a 256-bit store.
+    unsafe { _mm256_storeu_ps(lanes.as_mut_ptr(), acc) };
+    lanes
+}
+
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: dispatch verified AVX2 (module docs, obligation 1).
+    unsafe { dot_avx2(a, b) }
+}
+
+pub fn l2(a: &[f32], b: &[f32]) -> f32 {
+    // SAFETY: dispatch verified AVX2 (module docs, obligation 1).
+    unsafe { l2_avx2(a, b) }
+}
+
+pub fn dot4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    // SAFETY: dispatch verified AVX2 (module docs, obligation 1).
+    unsafe { dot4_avx2(query, rows) }
+}
+
+pub fn l2_4(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    // SAFETY: dispatch verified AVX2 (module docs, obligation 1).
+    unsafe { l2_4_avx2(query, rows) }
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / LANES;
+    let mut acc = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let off = i * LANES;
+        // SAFETY: off + 8 <= chunks * 8 <= len (obligation 2).
+        let va = unsafe { _mm256_loadu_ps(a.as_ptr().add(off)) };
+        let vb = unsafe { _mm256_loadu_ps(b.as_ptr().add(off)) };
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(va, vb));
+    }
+    reduce_dot_tail(spill(acc), a, b, chunks * LANES)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn l2_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let chunks = a.len() / LANES;
+    let mut acc = _mm256_setzero_ps();
+    for i in 0..chunks {
+        let off = i * LANES;
+        // SAFETY: off + 8 <= chunks * 8 <= len (obligation 2).
+        let va = unsafe { _mm256_loadu_ps(a.as_ptr().add(off)) };
+        let vb = unsafe { _mm256_loadu_ps(b.as_ptr().add(off)) };
+        let d = _mm256_sub_ps(va, vb);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(d, d));
+    }
+    reduce_l2_tail(spill(acc), a, b, chunks * LANES)
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn dot4_avx2(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    let chunks = query.len() / LANES;
+    let mut acc = [_mm256_setzero_ps(); 4];
+    for i in 0..chunks {
+        let off = i * LANES;
+        // SAFETY: off + 8 <= chunks * 8 <= len for query and each row
+        // (lengths asserted equal by the dispatcher; obligation 2).
+        let vq = unsafe { _mm256_loadu_ps(query.as_ptr().add(off)) };
+        for r in 0..4 {
+            let vr = unsafe { _mm256_loadu_ps(rows[r].as_ptr().add(off)) };
+            acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(vq, vr));
+        }
+    }
+    let done = chunks * LANES;
+    [
+        reduce_dot_tail(spill(acc[0]), query, rows[0], done),
+        reduce_dot_tail(spill(acc[1]), query, rows[1], done),
+        reduce_dot_tail(spill(acc[2]), query, rows[2], done),
+        reduce_dot_tail(spill(acc[3]), query, rows[3], done),
+    ]
+}
+
+#[target_feature(enable = "avx2")]
+unsafe fn l2_4_avx2(query: &[f32], rows: [&[f32]; 4]) -> [f32; 4] {
+    let chunks = query.len() / LANES;
+    let mut acc = [_mm256_setzero_ps(); 4];
+    for i in 0..chunks {
+        let off = i * LANES;
+        // SAFETY: off + 8 <= chunks * 8 <= len for query and each row
+        // (lengths asserted equal by the dispatcher; obligation 2).
+        let vq = unsafe { _mm256_loadu_ps(query.as_ptr().add(off)) };
+        for r in 0..4 {
+            let vr = unsafe { _mm256_loadu_ps(rows[r].as_ptr().add(off)) };
+            let d = _mm256_sub_ps(vq, vr);
+            acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(d, d));
+        }
+    }
+    let done = chunks * LANES;
+    [
+        reduce_l2_tail(spill(acc[0]), query, rows[0], done),
+        reduce_l2_tail(spill(acc[1]), query, rows[1], done),
+        reduce_l2_tail(spill(acc[2]), query, rows[2], done),
+        reduce_l2_tail(spill(acc[3]), query, rows[3], done),
+    ]
+}

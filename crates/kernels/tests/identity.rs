@@ -1,0 +1,133 @@
+//! The determinism contract, property-tested: whatever backend the
+//! process dispatched to (AVX2 here on x86_64 CI, NEON on aarch64,
+//! scalar under `SUBMOD_KERNELS=scalar`), every kernel must return
+//! **bitwise-identical** `f32`s to the scalar reference — across lengths
+//! 0–257, misaligned slice starts, and denormal/extreme magnitudes.
+
+use proptest::prelude::*;
+use submod_kernels::{batch_top_k, dot, dot4, l2_4, l2_distance_squared, scalar, TopK};
+
+/// Values spanning the nasty corners: denormals, huge magnitudes that
+/// overflow products to ±inf, zeros, and ordinary mid-range floats.
+fn arb_element() -> impl Strategy<Value = f32> {
+    (0u8..13, -100.0f32..100.0).prop_map(|(corner, ordinary)| match corner {
+        0 => 0.0,
+        1 => -0.0,
+        2 => f32::MIN_POSITIVE,           // smallest normal
+        3 => f32::MIN_POSITIVE / 64.0,    // denormal
+        4 => -f32::MIN_POSITIVE / 1024.0, // tiny negative denormal
+        5 => 3.0e38,                      // near f32::MAX
+        6 => -2.9e38,
+        7 => 1.0e-38,
+        _ => ordinary,
+    })
+}
+
+/// A pair of equal-length vectors (length 0–257) plus a misalignment
+/// offset 0–7: the kernels see `&buf[offset..offset + len]`, so the
+/// SIMD loads start at every possible 4-byte (mis)alignment.
+fn arb_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>, usize)> {
+    (0usize..=257, 0usize..8).prop_flat_map(|(len, offset)| {
+        (
+            proptest::collection::vec(arb_element(), len + offset),
+            proptest::collection::vec(arb_element(), len + offset),
+            Just(offset),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dispatched `dot` == scalar reference, bit for bit.
+    #[test]
+    fn dot_is_bitwise_identical_to_scalar((a, b, offset) in arb_pair()) {
+        let (a, b) = (&a[offset..], &b[offset..]);
+        prop_assert_eq!(dot(a, b).to_bits(), scalar::dot(a, b).to_bits());
+    }
+
+    /// Dispatched `l2_distance_squared` == scalar reference, bit for bit.
+    #[test]
+    fn l2_is_bitwise_identical_to_scalar((a, b, offset) in arb_pair()) {
+        let (a, b) = (&a[offset..], &b[offset..]);
+        prop_assert_eq!(
+            l2_distance_squared(a, b).to_bits(),
+            scalar::l2(a, b).to_bits()
+        );
+    }
+
+    /// The 4-row micro-kernels equal four single-row calls, bit for bit.
+    #[test]
+    fn blocked_kernels_are_bitwise_identical(
+        (q, rows_flat, offset) in (0usize..=129, 0usize..8).prop_flat_map(|(len, offset)| {
+            (
+                proptest::collection::vec(arb_element(), len + offset),
+                proptest::collection::vec(arb_element(), len * 4),
+                Just(offset),
+            )
+        })
+    ) {
+        let q = &q[offset..];
+        let len = q.len();
+        let quad = [
+            &rows_flat[..len],
+            &rows_flat[len..2 * len],
+            &rows_flat[2 * len..3 * len],
+            &rows_flat[3 * len..4 * len],
+        ];
+        let d = dot4(q, quad);
+        let l = l2_4(q, quad);
+        for j in 0..4 {
+            prop_assert_eq!(d[j].to_bits(), scalar::dot(q, quad[j]).to_bits());
+            prop_assert_eq!(l[j].to_bits(), scalar::l2(q, quad[j]).to_bits());
+        }
+    }
+
+    /// `batch_top_k` over any matrix equals a per-query scalar scan:
+    /// same ids, same similarities, same bits, regardless of how the
+    /// query count and row count land on the block/tile boundaries.
+    #[test]
+    fn batch_top_k_is_bitwise_identical_to_scalar_scans(
+        dim in 1usize..33,
+        nq in 1usize..20,
+        n in 1usize..40,
+        k in 0usize..8,
+        seed in 0u64..1024,
+    ) {
+        // Deterministic pseudo-random matrices (keeps the strategy small).
+        let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+        };
+        let queries: Vec<f32> = (0..nq * dim).map(|_| next()).collect();
+        let rows: Vec<f32> = (0..n * dim).map(|_| next()).collect();
+        let norms: Vec<f32> = rows.chunks_exact(dim).map(|r| scalar::dot(r, r).sqrt()).collect();
+        let excludes: Vec<u32> = (0..nq as u32).collect();
+
+        let batch = batch_top_k(&queries, &rows, &norms, dim, k, &excludes);
+        for qi in 0..nq {
+            let q = &queries[qi * dim..(qi + 1) * dim];
+            let qn = scalar::dot(q, q).sqrt();
+            let mut heap = TopK::new(k);
+            for r in 0..n {
+                if r as u32 == excludes[qi] {
+                    continue;
+                }
+                let denom = norms[r] * qn;
+                let sim = if denom <= f32::MIN_POSITIVE {
+                    0.0
+                } else {
+                    scalar::dot(q, &rows[r * dim..(r + 1) * dim]) / denom
+                };
+                heap.offer(r as u32, sim);
+            }
+            let expect = heap.into_sorted();
+            prop_assert_eq!(batch[qi].len(), expect.len());
+            for (got, want) in batch[qi].iter().zip(&expect) {
+                prop_assert_eq!(got.0, want.0, "query {} ids diverge", qi);
+                prop_assert_eq!(got.1.to_bits(), want.1.to_bits(), "query {} sims diverge", qi);
+            }
+        }
+    }
+}

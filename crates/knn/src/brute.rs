@@ -1,11 +1,14 @@
 use crate::{Embeddings, KnnError, NearestNeighbors, Neighbor};
-use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Exact brute-force nearest-neighbor search by cosine similarity.
 ///
 /// O(n·d) per query; the reference backend for recall measurements and the
 /// default for small datasets (CIFAR-100-scale) where exactness is cheap.
+/// Single queries and [`NearestNeighbors::search_batch`] blocks both run
+/// on the `submod_kernels` batch scan, so batched results are
+/// bitwise-identical to one-at-a-time searches — the batch merely streams
+/// the row matrix once per query block.
 ///
 /// ```
 /// use submod_knn::{Embeddings, ExactKnn, NearestNeighbors};
@@ -41,6 +44,18 @@ impl ExactKnn {
     pub fn embeddings(&self) -> &Embeddings {
         &self.data
     }
+
+    /// Flattens borrowed query rows into one row-major buffer for the
+    /// batch kernel, validating dimensions.
+    fn flatten_queries(&self, queries: &[&[f32]]) -> Vec<f32> {
+        let dim = self.data.dim();
+        let mut flat = Vec::with_capacity(queries.len() * dim);
+        for q in queries {
+            assert_eq!(q.len(), dim, "query dimension mismatch");
+            flat.extend_from_slice(q);
+        }
+        flat
+    }
 }
 
 impl NearestNeighbors for ExactKnn {
@@ -51,126 +66,72 @@ impl NearestNeighbors for ExactKnn {
     fn search_excluding(&self, query: &[f32], k: usize, exclude: u32) -> Vec<Neighbor> {
         top_k_by_cosine(&self.data, query, k, exclude)
     }
+
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        submod_kernels::batch_top_k(
+            &self.flatten_queries(queries),
+            self.data.as_flat(),
+            self.data.norms(),
+            self.data.dim(),
+            k,
+            &[],
+        )
+    }
+
+    fn search_batch_excluding(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        excludes: &[u32],
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), excludes.len(), "one exclude per query");
+        submod_kernels::batch_top_k(
+            &self.flatten_queries(queries),
+            self.data.as_flat(),
+            self.data.norms(),
+            self.data.dim(),
+            k,
+            excludes,
+        )
+    }
 }
 
 /// Scans every row, keeping the `k` most similar (excluding `exclude`).
-/// Deterministic: ties break toward the smaller index.
+/// Deterministic: ties break toward the smaller index. This is the batch
+/// kernel invoked with a single query, so one-at-a-time and batched
+/// searches cannot drift apart.
 pub(crate) fn top_k_by_cosine(
     data: &Embeddings,
     query: &[f32],
     k: usize,
     exclude: u32,
 ) -> Vec<Neighbor> {
-    if k == 0 {
-        return Vec::new();
-    }
-    let qn = crate::distance::norm(query);
-    let mut heap = TopK::new(k);
-    for (i, row) in data.iter() {
-        if i as u32 == exclude {
-            continue;
-        }
-        let denom = data.row_norm(i) * qn;
-        let sim =
-            if denom <= f32::MIN_POSITIVE { 0.0 } else { crate::distance::dot(row, query) / denom };
-        heap.offer(i as u32, sim);
-    }
-    heap.into_sorted()
+    assert_eq!(query.len(), data.dim(), "query dimension mismatch");
+    submod_kernels::batch_top_k(query, data.as_flat(), data.norms(), data.dim(), k, &[exclude])
+        .pop()
+        .unwrap_or_default()
 }
 
 /// Ranks an explicit candidate list by cosine similarity to `query`,
-/// keeping the top `k`. Shared by the IVF and LSH backends.
+/// keeping the top `k`. Shared by the IVF and LSH backends; the scan is
+/// blocked four candidates per micro-kernel pass with the query norm
+/// hoisted out of the loop.
 pub(crate) fn rank_candidates(
     data: &Embeddings,
     query: &[f32],
-    candidates: impl IntoIterator<Item = u32>,
+    candidates: &[u32],
     k: usize,
     exclude: u32,
 ) -> Vec<Neighbor> {
-    if k == 0 {
-        return Vec::new();
-    }
-    let qn = crate::distance::norm(query);
-    let mut heap = TopK::new(k);
-    for c in candidates {
-        if c == exclude {
-            continue;
-        }
-        let i = c as usize;
-        let denom = data.row_norm(i) * qn;
-        let sim = if denom <= f32::MIN_POSITIVE {
-            0.0
-        } else {
-            crate::distance::dot(data.row(i), query) / denom
-        };
-        heap.offer(c, sim);
-    }
-    heap.into_sorted()
-}
-
-/// A fixed-capacity top-k tracker (min-heap by similarity, tie-break by
-/// larger index so smaller indices win overall).
-struct TopK {
-    k: usize,
-    // (similarity, id): the *worst* kept entry sits at heap[0].
-    heap: Vec<(f32, u32)>,
-}
-
-impl TopK {
-    fn new(k: usize) -> Self {
-        TopK { k, heap: Vec::with_capacity(k + 1) }
-    }
-
-    /// `true` if `a` is worse than `b` (lower sim, or equal sim with larger id).
-    fn worse(a: (f32, u32), b: (f32, u32)) -> bool {
-        match a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal) {
-            Ordering::Less => true,
-            Ordering::Greater => false,
-            Ordering::Equal => a.1 > b.1,
-        }
-    }
-
-    fn offer(&mut self, id: u32, sim: f32) {
-        if self.heap.len() < self.k {
-            self.heap.push((sim, id));
-            let mut i = self.heap.len() - 1;
-            while i > 0 {
-                let parent = (i - 1) / 2;
-                if Self::worse(self.heap[i], self.heap[parent]) {
-                    self.heap.swap(i, parent);
-                    i = parent;
-                } else {
-                    break;
-                }
-            }
-        } else if Self::worse(self.heap[0], (sim, id)) {
-            self.heap[0] = (sim, id);
-            let mut i = 0;
-            loop {
-                let (l, r) = (2 * i + 1, 2 * i + 2);
-                let mut worst = i;
-                if l < self.heap.len() && Self::worse(self.heap[l], self.heap[worst]) {
-                    worst = l;
-                }
-                if r < self.heap.len() && Self::worse(self.heap[r], self.heap[worst]) {
-                    worst = r;
-                }
-                if worst == i {
-                    break;
-                }
-                self.heap.swap(i, worst);
-                i = worst;
-            }
-        }
-    }
-
-    fn into_sorted(self) -> Vec<Neighbor> {
-        let mut entries = self.heap;
-        entries.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
-        });
-        entries.into_iter().map(|(sim, id)| (id, sim)).collect()
-    }
+    submod_kernels::cosine_top_k_gather(
+        data.as_flat(),
+        data.norms(),
+        data.dim(),
+        candidates,
+        query,
+        k,
+        exclude,
+    )
 }
 
 #[cfg(test)]
@@ -245,8 +206,22 @@ mod tests {
     #[test]
     fn rank_candidates_filters_and_ranks() {
         let data = line_data(10);
-        let hits = rank_candidates(&data, data.row(0).to_vec().as_slice(), [2u32, 5, 8], 2, 5);
+        let hits = rank_candidates(&data, data.row(0).to_vec().as_slice(), &[2u32, 5, 8], 2, 5);
         let ids: Vec<u32> = hits.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, vec![2, 8]);
+    }
+
+    #[test]
+    fn batch_search_is_bitwise_identical_to_single() {
+        let data = line_data(33);
+        let index = ExactKnn::build(data.clone()).unwrap();
+        let queries: Vec<&[f32]> = (0..data.len()).map(|i| data.row(i)).collect();
+        let excludes: Vec<u32> = (0..data.len() as u32).collect();
+        let batched = index.search_batch_excluding(&queries, 5, &excludes);
+        let plain = index.search_batch(&queries, 5);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batched[i], index.search_excluding(q, 5, i as u32), "query {i}");
+            assert_eq!(plain[i], index.search(q, 5), "query {i}");
+        }
     }
 }

@@ -1,6 +1,12 @@
 use crate::{Embeddings, ExactKnn, IvfIndex, KnnError, LshIndex, NearestNeighbors};
-use rayon::prelude::*;
 use submod_core::{GraphBuilder, SimilarityGraph};
+
+/// Queries per graph-build work item. Each block is one task on the
+/// `submod_exec` pool and one `search_batch_excluding` call, so the
+/// backend's batch kernel streams the row matrix once per block; 64
+/// queries keeps tens of stealable tasks even at the 2 k-point exact
+/// crossover while amortizing the per-task overhead.
+const QUERY_BLOCK: usize = 64;
 
 /// Which search backend builds the k-NN graph.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -114,15 +120,26 @@ pub fn build_knn_graph(
     Ok(builder.build().symmetrized())
 }
 
+/// Searches every point's neighbors by issuing [`QUERY_BLOCK`]-sized
+/// query blocks across the `submod_exec` pool: parallel over blocks,
+/// results merged in block order (`parallel_map` preserves submission
+/// order), so the output is identical at any thread count.
 fn search_all<I: NearestNeighbors + Sync>(
     index: &I,
     embeddings: &Embeddings,
     k: usize,
 ) -> Vec<Vec<(u32, f32)>> {
-    (0..embeddings.len())
-        .into_par_iter()
-        .map(|v| index.search_excluding(embeddings.row(v), k, v as u32))
-        .collect()
+    let n = embeddings.len();
+    let blocks: Vec<std::ops::Range<usize>> =
+        (0..n).step_by(QUERY_BLOCK).map(|s| s..(s + QUERY_BLOCK).min(n)).collect();
+    submod_exec::parallel_map(blocks, |block| {
+        let queries: Vec<&[f32]> = block.clone().map(|v| embeddings.row(v)).collect();
+        let excludes: Vec<u32> = block.map(|v| v as u32).collect();
+        index.search_batch_excluding(&queries, k, &excludes)
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]

@@ -1,7 +1,10 @@
-//! Vector distance kernels.
+//! Vector distance kernels — thin façade over [`submod_kernels`].
 //!
-//! Written as chunked scalar loops the compiler auto-vectorizes; `f32`
-//! accumulation in four lanes keeps the kernels fast without `unsafe`.
+//! The arithmetic lives in the kernels crate: explicit AVX2/NEON SIMD
+//! with runtime dispatch and a scalar fallback in the same fixed 8-lane
+//! reduction order, so every path returns bitwise-identical `f32`s (see
+//! the `submod_kernels` crate docs for the determinism contract). These
+//! re-exports keep the historical `submod_knn::{dot, norm, …}` API.
 
 /// Dot product of two equal-length vectors.
 ///
@@ -14,20 +17,7 @@
 /// ```
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
-    let mut lanes = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let off = i * 4;
-        for l in 0..4 {
-            lanes[l] += a[off + l] * b[off + l];
-        }
-    }
-    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-    for i in chunks * 4..a.len() {
-        sum += a[i] * b[i];
-    }
-    sum
+    submod_kernels::dot(a, b)
 }
 
 /// Euclidean norm of a vector.
@@ -37,7 +27,7 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 /// ```
 #[inline]
 pub fn norm(a: &[f32]) -> f32 {
-    dot(a, a).sqrt()
+    submod_kernels::norm(a)
 }
 
 /// Squared Euclidean distance between two equal-length vectors.
@@ -47,22 +37,7 @@ pub fn norm(a: &[f32]) -> f32 {
 /// Panics if the slices differ in length.
 #[inline]
 pub fn l2_distance_squared(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "distance of mismatched lengths");
-    let mut lanes = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let off = i * 4;
-        for l in 0..4 {
-            let d = a[off + l] - b[off + l];
-            lanes[l] += d * d;
-        }
-    }
-    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
-    for i in chunks * 4..a.len() {
-        let d = a[i] - b[i];
-        sum += d * d;
-    }
-    sum
+    submod_kernels::l2_distance_squared(a, b)
 }
 
 /// Cosine similarity in `[-1, 1]`; 0 when either vector has zero norm.
@@ -90,10 +65,13 @@ mod tests {
 
     #[test]
     fn dot_handles_remainders() {
-        // Length 7 exercises both the 4-lane body and the tail.
+        // Length 7 stays entirely in the reduction tail.
         let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0];
         let b = [7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
         assert_eq!(dot(&a, &b), 84.0);
+        // Length 11 exercises the 8-lane body plus the tail.
+        let c = [1.0f32; 11];
+        assert_eq!(dot(&c, &c), 11.0);
     }
 
     #[test]

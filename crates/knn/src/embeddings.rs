@@ -99,6 +99,13 @@ impl Embeddings {
         self.norms[i]
     }
 
+    /// All precomputed row norms (`len()` entries) — the hoisted-norm
+    /// input the batch kernels take alongside [`Self::as_flat`].
+    #[inline]
+    pub fn norms(&self) -> &[f32] {
+        &self.norms
+    }
+
     /// Iterates over `(index, vector)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (usize, &[f32])> + '_ {
         self.data.chunks_exact(self.dim).enumerate()

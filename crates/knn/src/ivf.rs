@@ -90,12 +90,17 @@ impl NearestNeighbors for IvfIndex {
 
     fn search_excluding(&self, query: &[f32], k: usize, exclude: u32) -> Vec<Neighbor> {
         // Probe enough cells to gather at least k candidates, starting from
-        // nprobe and widening if cells are sparse.
+        // nprobe and widening if cells are sparse. The gathered candidate
+        // list feeds the blocked ranking kernel in probe order.
         let mut probes = self.nprobe;
+        let mut candidates: Vec<u32> = Vec::new();
         loop {
             let cells = self.quantizer.nearest_centroids(query, probes);
-            let candidates = cells.iter().flat_map(|&c| self.lists[c as usize].iter().copied());
-            let hits = crate::brute::rank_candidates(&self.data, query, candidates, k, exclude);
+            candidates.clear();
+            for &c in &cells {
+                candidates.extend_from_slice(&self.lists[c as usize]);
+            }
+            let hits = crate::brute::rank_candidates(&self.data, query, &candidates, k, exclude);
             if hits.len() >= k.min(self.data.len().saturating_sub(1)) || probes >= self.nlist() {
                 return hits;
             }

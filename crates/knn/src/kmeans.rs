@@ -12,6 +12,11 @@ use rayon::prelude::*;
 #[derive(Clone, Debug)]
 pub struct KMeansModel {
     centroids: Embeddings,
+    /// Squared centroid norms, cached once at model build so nearest-
+    /// centroid queries rank by `‖c‖² − 2⟨c, q⟩` (the `‖q‖²` term is
+    /// constant per query) instead of re-deriving centroid norms — the
+    /// same hoist the search kernels apply to row norms.
+    centroid_sq_norms: Vec<f32>,
     assignments: Vec<u32>,
     inertia: f64,
     iterations_run: usize,
@@ -50,16 +55,34 @@ impl KMeansModel {
 
     /// Indices of the `p` centroids nearest to `query`, closest first.
     ///
+    /// Centroids are ranked by `‖c‖² − 2⟨c, q⟩` (equivalent to squared
+    /// L2 distance up to the per-query constant `‖q‖²`): the dot
+    /// products come from the blocked batch kernel and the squared norms
+    /// were cached at model build, so nothing about a centroid is
+    /// recomputed per query.
+    ///
     /// # Panics
     ///
     /// Panics if `query` has the wrong dimension.
     pub fn nearest_centroids(&self, query: &[f32], p: usize) -> Vec<u32> {
         assert_eq!(query.len(), self.centroids.dim(), "query dimension mismatch");
-        let mut scored: Vec<(f32, u32)> = (0..self.centroids.len())
-            .map(|c| (crate::distance::l2_distance_squared(self.centroids.row(c), query), c as u32))
-            .collect();
+        let dots = submod_kernels::dot_scores(query, self.centroids.as_flat());
+        let score = |c: usize| self.centroid_sq_norms[c] - 2.0 * dots[c];
+        if p <= 1 {
+            // Argmin with strict `<`: the first minimum (smallest index)
+            // wins, matching the stable sort below.
+            let mut best = (0usize, f32::INFINITY);
+            for c in 0..dots.len() {
+                let s = score(c);
+                if s < best.1 {
+                    best = (c, s);
+                }
+            }
+            return vec![best.0 as u32];
+        }
+        let mut scored: Vec<(f32, u32)> = (0..dots.len()).map(|c| (score(c), c as u32)).collect();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        scored.into_iter().take(p.max(1)).map(|(_, c)| c).collect()
+        scored.into_iter().take(p).map(|(_, c)| c).collect()
     }
 }
 
@@ -155,23 +178,11 @@ pub fn kmeans(
     let mut iterations_run = 0;
     for _ in 0..iterations {
         iterations_run += 1;
-        // Assignment step (parallel).
+        // Assignment step (parallel): each point scans the centroid
+        // matrix blockwise, four centroids per micro-kernel pass.
         let new_assignments: Vec<(u32, f32)> = (0..n)
             .into_par_iter()
-            .map(|i| {
-                let row = data.row(i);
-                let mut best = (0u32, f32::INFINITY);
-                for c in 0..k {
-                    let d = crate::distance::l2_distance_squared(
-                        &centroids[c * dim..(c + 1) * dim],
-                        row,
-                    );
-                    if d < best.1 {
-                        best = (c as u32, d);
-                    }
-                }
-                best
-            })
+            .map(|i| submod_kernels::l2_argmin(data.row(i), &centroids))
             .collect();
         let new_inertia: f64 = new_assignments.iter().map(|&(_, d)| f64::from(d)).sum();
         for (i, &(c, _)) in new_assignments.iter().enumerate() {
@@ -214,12 +225,11 @@ pub fn kmeans(
         inertia = new_inertia;
     }
 
-    Ok(KMeansModel {
-        centroids: Embeddings::from_flat(dim, centroids)?,
-        assignments,
-        inertia,
-        iterations_run,
-    })
+    let centroids = Embeddings::from_flat(dim, centroids)?;
+    let centroid_sq_norms = (0..centroids.len())
+        .map(|c| submod_kernels::dot(centroids.row(c), centroids.row(c)))
+        .collect();
+    Ok(KMeansModel { centroids, centroid_sq_norms, assignments, inertia, iterations_run })
 }
 
 #[cfg(test)]

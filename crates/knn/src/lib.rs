@@ -16,6 +16,12 @@
 //! - [`cache`] — a binary disk cache so experiment sweeps build each graph
 //!   once.
 //!
+//! All distance arithmetic dispatches through `submod_kernels` (AVX2 /
+//! NEON / scalar, selected at runtime, `SUBMOD_KERNELS=scalar` to force
+//! the fallback); the graph build issues query *blocks* across the
+//! `submod_exec` pool and every backend's batched search is
+//! bitwise-identical to its one-query-at-a-time scan.
+//!
 //! # Example
 //!
 //! ```
@@ -69,5 +75,33 @@ pub trait NearestNeighbors {
     /// (used when querying with an indexed point).
     fn search_excluding(&self, query: &[f32], k: usize, exclude: u32) -> Vec<Neighbor> {
         self.search(query, k + 1).into_iter().filter(|&(id, _)| id != exclude).take(k).collect()
+    }
+
+    /// Searches a whole block of queries at once, returning one result
+    /// list per query in input order.
+    ///
+    /// Backends with a batched kernel (the exact scan) override this to
+    /// stream the row matrix once per query block; the default simply
+    /// loops, so results are **always** identical to per-query
+    /// [`Self::search`] calls — batching is a throughput contract, never
+    /// a semantic one.
+    fn search_batch(&self, queries: &[&[f32]], k: usize) -> Vec<Vec<Neighbor>> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
+
+    /// Batched [`Self::search_excluding`]: `excludes[i]` is skipped in
+    /// query `i`'s results (`u32::MAX` for none).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `excludes.len() != queries.len()`.
+    fn search_batch_excluding(
+        &self,
+        queries: &[&[f32]],
+        k: usize,
+        excludes: &[u32],
+    ) -> Vec<Vec<Neighbor>> {
+        assert_eq!(queries.len(), excludes.len(), "one exclude per query");
+        queries.iter().zip(excludes).map(|(q, &e)| self.search_excluding(q, k, e)).collect()
     }
 }

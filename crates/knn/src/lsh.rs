@@ -129,7 +129,7 @@ impl NearestNeighbors for LshIndex {
         if candidates.len() < k.saturating_mul(2) {
             candidates = self.candidates(query, true);
         }
-        let hits = crate::brute::rank_candidates(&self.data, query, candidates, k, exclude);
+        let hits = crate::brute::rank_candidates(&self.data, query, &candidates, k, exclude);
         if hits.len() >= k.min(self.data.len().saturating_sub(1)) {
             return hits;
         }

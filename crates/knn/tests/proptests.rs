@@ -95,3 +95,59 @@ proptest! {
         prop_assert!((cosine_similarity(&a, &a) - 1.0).abs() < 1e-5);
     }
 }
+
+/// Pins the batched-search contract on exactly what `KnnBackend::auto`
+/// builds: below the crossover (exact) and above it (IVF), a
+/// `search_batch` / `search_batch_excluding` call must return the same
+/// ids **and the same similarity bits** as one-query-at-a-time calls.
+#[test]
+fn auto_backend_batch_equals_single_query_searches() {
+    use submod_knn::{IvfIndex, KnnBackend, AUTO_EXACT_MAX_POINTS};
+
+    fn embeddings(n: usize, dim: usize, seed: u64) -> Embeddings {
+        let mut s = seed;
+        let flat: Vec<f32> = (0..n * dim)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((s >> 40) as f32 / (1u64 << 24) as f32) * 2.0 - 1.0
+            })
+            .collect();
+        Embeddings::from_flat(dim, flat).unwrap()
+    }
+
+    fn check(index: &dyn NearestNeighbors, data: &Embeddings, k: usize) {
+        let probe = data.len().min(60);
+        let queries: Vec<&[f32]> = (0..probe).map(|v| data.row(v)).collect();
+        let excludes: Vec<u32> = (0..probe as u32).collect();
+        let batched = index.search_batch(&queries, k);
+        let batched_ex = index.search_batch_excluding(&queries, k, &excludes);
+        for (v, q) in queries.iter().enumerate() {
+            let single = index.search(q, k);
+            let single_ex = index.search_excluding(q, k, v as u32);
+            assert_eq!(batched[v].len(), single.len(), "query {v}");
+            for (got, want) in batched[v].iter().zip(&single) {
+                assert_eq!(got.0, want.0, "query {v}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "query {v}");
+            }
+            assert_eq!(batched_ex[v].len(), single_ex.len(), "query {v}");
+            for (got, want) in batched_ex[v].iter().zip(&single_ex) {
+                assert_eq!(got.0, want.0, "query {v}");
+                assert_eq!(got.1.to_bits(), want.1.to_bits(), "query {v}");
+            }
+        }
+    }
+
+    // Below the crossover `auto` is exact (the kernel batch path).
+    let small = embeddings(500, 16, 7);
+    assert_eq!(KnnBackend::auto(small.len()), KnnBackend::Exact);
+    let exact = ExactKnn::build(small.clone()).unwrap();
+    check(&exact, &small, 10);
+
+    // Above it `auto` is IVF with nlist = √n, nprobe = 8.
+    let big = embeddings(AUTO_EXACT_MAX_POINTS + 100, 8, 13);
+    let KnnBackend::Ivf { nlist, nprobe } = KnnBackend::auto(big.len()) else {
+        panic!("auto above the crossover must be IVF");
+    };
+    let ivf = IvfIndex::build(big.clone(), nlist, nprobe, 13).unwrap();
+    check(&ivf, &big, 10);
+}

@@ -10,6 +10,7 @@
 //! |-------|----------|
 //! | [`submod_core`] | objective, similarity graph, priority queue, centralized greedy |
 //! | [`submod_exec`] | work-stealing thread pool behind every parallel path (`EXEC_NUM_THREADS`) |
+//! | [`submod_kernels`] | runtime-dispatched SIMD distance kernels (`SUBMOD_KERNELS`) |
 //! | [`submod_dataflow`] | Beam-style engine with memory budgets & spill-to-disk |
 //! | [`submod_knn`] | exact / IVF / LSH k-NN graph construction |
 //! | [`submod_data`] | synthetic datasets, margin utilities, virtual perturbed data |
@@ -51,6 +52,7 @@ pub use submod_data;
 pub use submod_dataflow;
 pub use submod_dist;
 pub use submod_exec;
+pub use submod_kernels;
 pub use submod_knn;
 
 /// One-stop imports for the common workflow.
