@@ -30,9 +30,10 @@
 //!                EXEC_NUM_THREADS or the available cores; results are
 //!                identical at any value — only wall-clock changes)
 //!   --report-memory
-//!                print peak driver-side bytes for the bounding drivers
-//!                (in-memory bound table vs engine-resident candidates),
-//!                turning the §5 larger-than-memory claim into a number
+//!                print peak driver-side bytes for the bounding and
+//!                multi-round greedy drivers (in-memory tables/queues vs
+//!                engine-resident candidates/winner rows), turning the
+//!                §5 larger-than-memory claim into a number
 //! ```
 
 mod common;

@@ -16,7 +16,9 @@
 //!   budget-aware keyed combiner [`PCollection::aggregate_per_key`], and
 //!   aggregations including the distributed
 //!   [`PCollection::kth_largest`] selection that powers the bounding
-//!   thresholds.
+//!   thresholds and the per-key top-1 selection
+//!   [`PCollection::argmax_per_key`] behind the engine-resident
+//!   distributed greedy.
 //! - [`SideInput`] / [`BroadcastSet`] — broadcast side-inputs for small
 //!   driver-side values (solution sets, status bitsets), metered by
 //!   [`PipelineMetrics::bytes_broadcast`], and the deterministic seeded
@@ -73,6 +75,7 @@ mod shuffle;
 mod side;
 mod spill;
 
+pub use agg::argmax_prefers;
 pub use codec::{Either2, Either3, Record};
 pub use error::DataflowError;
 pub use memory::{MemoryBudget, PipelineMetrics};

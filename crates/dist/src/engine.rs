@@ -1,0 +1,574 @@
+//! The shared per-machine greedy execution backend (paper §4.4 made
+//! engine-resident, the greedy counterpart of bounding's `PassBackend`).
+//!
+//! Partition assignment is a deterministic keyed transform
+//! ([`MachineKeying`]): the machine of a node depends only on the keying
+//! parameters and the node id, never on sharding, scheduling, or a
+//! driver-side permutation. Per-machine selection then advances in
+//! **synchronized Algorithm-2 steps**: each step every machine pops its
+//! best remaining candidate, and between steps the previous winners'
+//! still-unselected same-machine neighbors lose `(β/α)·s(winner, ·)`
+//! priority — exactly the priority-queue greedy of `submod_core`, run one
+//! pop per machine per step.
+//!
+//! Everything backend-specific hides behind [`MachineGreedyBackend`]:
+//!
+//! - [`InMemoryGreedyBackend`] keys the pool into per-machine
+//!   [`AddressablePq`]s on the driver — the `O(pool)`-per-phase baseline.
+//! - [`DataflowGreedyBackend`] keeps the scored pool inside the engine as
+//!   a `(machine, (node, priority))` collection: winners come from the
+//!   engine's per-key argmax aggregation
+//!   (`PCollection::argmax_per_key`), the previous winners ride to
+//!   workers as a broadcast side-input, and only `O(machines)` rows per
+//!   step ever reach the driver.
+//!
+//! Both backends run the same arithmetic in the same order — priorities
+//! seed from the utility, every decrease is the single subtraction
+//! `p − (β/α)·s(winner, v)` (the graph stores each edge once per
+//! direction, deduplicated), and ties resolve by the shared
+//! [`submod_dataflow::argmax_prefers`] order, which is also the
+//! addressable queue's pop order — so the drivers select **bitwise
+//! identical** subsets.
+
+use crate::DistError;
+use std::sync::Arc;
+use submod_core::{AddressablePq, NodeId, NodeSet, PairwiseObjective, SimilarityGraph};
+use submod_dataflow::{PCollection, Pipeline};
+
+/// Deterministic machine assignment — the keyed transform both drivers
+/// share.
+#[derive(Clone, Debug)]
+pub(crate) enum MachineKeying {
+    /// splitmix64 of `(seed, node)` modulo the machine count.
+    Hash {
+        /// Mixer seed (varies per round so draws are uncorrelated).
+        seed: u64,
+        /// Machine count the hash is reduced into.
+        machines: u64,
+    },
+    /// [`MachineKeying::Hash`] with a forced set pinned to machine 0 —
+    /// the §6.4 adversarial first round.
+    HashForced {
+        /// Mixer seed for the unforced nodes.
+        seed: u64,
+        /// Machine count the hash is reduced into.
+        machines: u64,
+        /// Nodes concentrated on machine 0.
+        forced: Arc<NodeSet>,
+    },
+    /// Contiguous id chunks of `chunk` nodes — GreeDi's "arbitrary"
+    /// partitions.
+    Contiguous {
+        /// Nodes per machine.
+        chunk: u64,
+    },
+}
+
+impl MachineKeying {
+    /// The machine that owns node `v`.
+    #[inline]
+    pub(crate) fn machine_of(&self, v: u64) -> u64 {
+        match self {
+            MachineKeying::Hash { seed, machines } => {
+                crate::mix::mix_seed_node(*seed, v) % *machines
+            }
+            MachineKeying::HashForced { seed, machines, forced } => {
+                if forced.contains(NodeId::new(v)) {
+                    0
+                } else {
+                    crate::mix::mix_seed_node(*seed, v) % *machines
+                }
+            }
+            MachineKeying::Contiguous { chunk } => v / *chunk,
+        }
+    }
+}
+
+/// What a backend hands the driver after one synchronized step: at most
+/// one `(machine, node, priority)` winner per machine, ascending by
+/// machine, plus the driver bytes materialized to produce them.
+pub(crate) struct StepWinners {
+    /// The per-machine argmax rows, ascending by machine.
+    pub winners: Vec<(u64, u64, f64)>,
+    /// Driver-side bytes this step collected.
+    pub driver_bytes: u64,
+}
+
+/// A per-machine greedy execution backend: everything that differs
+/// between the in-memory reference and the dataflow engine. The round
+/// loop, Δ-schedule bookkeeping, and winner accounting downstream are
+/// shared, which is what guarantees identical outcomes.
+pub(crate) trait MachineGreedyBackend {
+    /// Nodes currently in the pool.
+    fn pool_len(&self) -> usize;
+
+    /// Keys the current pool into `machines` partitions and seeds every
+    /// candidate's priority with its utility. Returns the driver bytes
+    /// the keying materialized (the in-memory baseline pays `O(pool)`
+    /// here; the engine-resident backend pays nothing).
+    fn begin_phase(&mut self, keying: MachineKeying, machines: usize) -> Result<u64, DistError>;
+
+    /// Applies the previous step's winners — each winner leaves its
+    /// machine's pool, and its still-unselected same-machine neighbors
+    /// lose `(β/α)·s` priority (Algorithm 2's decrease) — then returns
+    /// the next per-machine argmax winners.
+    fn step(&mut self, previous: &[(u64, u64)]) -> Result<StepWinners, DistError>;
+
+    /// Optional fast path: run the whole phase (up to `quota` steps) in
+    /// one shot and return the outcome, or `None` to have [`run_phase`]
+    /// drive the step loop. An implementation must produce the *exact*
+    /// outcome of the step loop — machines are independent within a
+    /// phase, so free-running them and reassembling the step-major order
+    /// is equivalent to the lockstep.
+    fn phase_bulk(&mut self, _n: usize, _quota: usize) -> Result<Option<PhaseOutcome>, DistError> {
+        Ok(None)
+    }
+
+    /// Ends the phase, restricting the pool to `survivors`.
+    fn end_phase(&mut self, survivors: &NodeSet) -> Result<(), DistError>;
+
+    /// Broadcast bytes shipped to workers so far (0 for the in-memory
+    /// reference).
+    fn bytes_broadcast(&self) -> u64;
+}
+
+/// The winners of one phase in selection order (step-major, ascending by
+/// machine within a step) plus the step accounting.
+pub(crate) struct PhaseOutcome {
+    /// Winners in selection order. With one machine this is exactly the
+    /// centralized Algorithm-2 pop order.
+    pub selected: Vec<NodeId>,
+    /// The same winners as a membership set.
+    pub members: NodeSet,
+    /// Steps that produced at least one winner.
+    pub steps: usize,
+    /// Largest single-step winner collection.
+    pub peak_step_winners: usize,
+    /// Driver bytes collected across the phase's steps.
+    pub driver_bytes: u64,
+}
+
+/// Runs up to `quota` synchronized steps against `backend`. Every
+/// machine with a surviving candidate contributes one winner per step,
+/// so machine `m` ends the phase with `min(quota, |pool_m|)` selections —
+/// the same count as a driver-side local greedy, in synchronized order.
+pub(crate) fn run_phase(
+    backend: &mut dyn MachineGreedyBackend,
+    n: usize,
+    quota: usize,
+) -> Result<PhaseOutcome, DistError> {
+    if let Some(outcome) = backend.phase_bulk(n, quota)? {
+        return Ok(outcome);
+    }
+    let mut outcome = PhaseOutcome {
+        selected: Vec::new(),
+        members: NodeSet::new(n),
+        steps: 0,
+        peak_step_winners: 0,
+        driver_bytes: 0,
+    };
+    let mut previous: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..quota {
+        let step = backend.step(&previous)?;
+        if step.winners.is_empty() {
+            break;
+        }
+        outcome.steps += 1;
+        outcome.peak_step_winners = outcome.peak_step_winners.max(step.winners.len());
+        outcome.driver_bytes += step.driver_bytes;
+        previous = step
+            .winners
+            .iter()
+            .map(|&(machine, node, _)| {
+                outcome.selected.push(NodeId::new(node));
+                outcome.members.insert(NodeId::new(node));
+                (machine, node)
+            })
+            .collect();
+    }
+    Ok(outcome)
+}
+
+/// Sorted, deduplicated raw ids — the canonical pool representation both
+/// backends start from, so their candidate sets match element for
+/// element.
+fn canonical_pool(ground: &[NodeId]) -> Vec<u64> {
+    let mut pool: Vec<u64> = ground.iter().map(|v| v.raw()).collect();
+    pool.sort_unstable();
+    pool.dedup();
+    pool
+}
+
+/// The in-memory reference: buckets and per-machine priority queues live
+/// on the driver (`O(pool)` per phase — the baseline the engine-resident
+/// driver is measured against). Buckets are ascending by id, so the
+/// queue's smaller-local-index tie-break is the smaller-node-id
+/// tie-break of the engine argmax.
+pub(crate) struct InMemoryGreedyBackend<'a> {
+    graph: &'a SimilarityGraph,
+    objective: &'a PairwiseObjective,
+    pool: Vec<u64>,
+    buckets: Vec<Vec<u64>>,
+    queues: Vec<AddressablePq>,
+}
+
+impl<'a> InMemoryGreedyBackend<'a> {
+    pub(crate) fn new(
+        graph: &'a SimilarityGraph,
+        objective: &'a PairwiseObjective,
+        ground: &[NodeId],
+    ) -> Self {
+        InMemoryGreedyBackend {
+            graph,
+            objective,
+            pool: canonical_pool(ground),
+            buckets: Vec::new(),
+            queues: Vec::new(),
+        }
+    }
+}
+
+impl MachineGreedyBackend for InMemoryGreedyBackend<'_> {
+    fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn begin_phase(&mut self, keying: MachineKeying, machines: usize) -> Result<u64, DistError> {
+        let mut buckets: Vec<Vec<u64>> = vec![Vec::new(); machines];
+        for &v in &self.pool {
+            buckets[keying.machine_of(v) as usize].push(v);
+        }
+        let objective = self.objective;
+        self.queues = buckets
+            .iter()
+            .map(|bucket| {
+                AddressablePq::with_priorities(
+                    bucket.iter().map(|&v| objective.utility(NodeId::new(v))).collect(),
+                )
+            })
+            .collect();
+        self.buckets = buckets;
+        // Buckets (8 B/node) plus queue state (8 B priority + two 4 B
+        // heap slots per node) — the O(pool) driver materialization.
+        Ok((self.pool.len() * (size_of::<u64>() + size_of::<f64>() + 2 * size_of::<u32>())) as u64)
+    }
+
+    fn step(&mut self, previous: &[(u64, u64)]) -> Result<StepWinners, DistError> {
+        // Algorithm 2's decrease wave: the previous winner of machine `m`
+        // walks its adjacency; every still-enqueued same-bucket neighbor
+        // loses `(β/α)·s`. Machines are disjoint, so waves never interact.
+        let ratio = self.objective.ratio();
+        for &(machine, winner) in previous {
+            let bucket = &self.buckets[machine as usize];
+            let queue = &mut self.queues[machine as usize];
+            for (x, s) in self.graph.edges(NodeId::new(winner)) {
+                if let Ok(local) = bucket.binary_search(&x.raw()) {
+                    if queue.contains(local as u32) {
+                        queue.decrease_by(local as u32, ratio * f64::from(s));
+                    }
+                }
+            }
+        }
+        let mut winners = Vec::new();
+        for (machine, queue) in self.queues.iter_mut().enumerate() {
+            if let Some((local, priority)) = queue.pop_max() {
+                winners.push((machine as u64, self.buckets[machine][local as usize], priority));
+            }
+        }
+        let driver_bytes = (winners.len() * size_of::<(u64, u64, f64)>()) as u64;
+        Ok(StepWinners { winners, driver_bytes })
+    }
+
+    fn phase_bulk(&mut self, n: usize, quota: usize) -> Result<Option<PhaseOutcome>, DistError> {
+        // Machines never interact within a phase (disjoint buckets and
+        // queues, decreases never cross a machine), so the lockstep of
+        // [`run_phase`] is only an *accounting* order: each machine can
+        // run its whole pop/decrease sequence independently. One
+        // coarse-grained `parallel_map` region per phase — the PR 2
+        // concurrency shape — and the step-major outcome is reassembled
+        // exactly (machine `m`'s `t`-th pop *is* its step-`t` winner).
+        let ratio = self.objective.ratio();
+        let graph = self.graph;
+        let machines: Vec<(&Vec<u64>, &mut AddressablePq)> =
+            self.buckets.iter().zip(self.queues.iter_mut()).collect();
+        let sequences: Vec<Vec<u64>> = submod_exec::parallel_map(machines, |(bucket, queue)| {
+            let mut sequence = Vec::with_capacity(quota.min(bucket.len()));
+            for _ in 0..quota {
+                let Some((local, _priority)) = queue.pop_max() else { break };
+                let winner = bucket[local as usize];
+                sequence.push(winner);
+                for (x, s) in graph.edges(NodeId::new(winner)) {
+                    if let Ok(l) = bucket.binary_search(&x.raw()) {
+                        if queue.contains(l as u32) {
+                            queue.decrease_by(l as u32, ratio * f64::from(s));
+                        }
+                    }
+                }
+            }
+            sequence
+        });
+        let mut outcome = PhaseOutcome {
+            selected: Vec::new(),
+            members: NodeSet::new(n),
+            steps: 0,
+            peak_step_winners: 0,
+            driver_bytes: 0,
+        };
+        let longest = sequences.iter().map(Vec::len).max().unwrap_or(0);
+        for step in 0..longest {
+            let mut step_winners = 0usize;
+            for sequence in &sequences {
+                if let Some(&node) = sequence.get(step) {
+                    outcome.selected.push(NodeId::new(node));
+                    outcome.members.insert(NodeId::new(node));
+                    step_winners += 1;
+                }
+            }
+            outcome.steps += 1;
+            outcome.peak_step_winners = outcome.peak_step_winners.max(step_winners);
+            outcome.driver_bytes += (step_winners * size_of::<(u64, u64, f64)>()) as u64;
+        }
+        Ok(Some(outcome))
+    }
+
+    fn end_phase(&mut self, survivors: &NodeSet) -> Result<(), DistError> {
+        self.pool.retain(|&v| survivors.contains(NodeId::new(v)));
+        self.buckets.clear();
+        self.queues.clear();
+        Ok(())
+    }
+
+    fn bytes_broadcast(&self) -> u64 {
+        0
+    }
+}
+
+/// The engine-resident driver: the scored pool is born, lives, and dies
+/// inside the dataflow engine as a `(machine, (node, priority))`
+/// collection. Per step it broadcasts the previous winners as a
+/// side-input, applies the decrease wave shard-locally, selects each
+/// machine's argmax with the engine's per-key top-1 aggregation, and
+/// collects **only the winner rows** — `O(machines)` driver bytes per
+/// step, never `O(partition)`.
+pub(crate) struct DataflowGreedyBackend<'a> {
+    pipeline: &'a Pipeline,
+    graph: &'a SimilarityGraph,
+    objective: &'a PairwiseObjective,
+    pool: PCollection<u64>,
+    table: Option<PCollection<(u64, (u64, f64))>>,
+    broadcast_base: u64,
+}
+
+impl<'a> DataflowGreedyBackend<'a> {
+    pub(crate) fn new(
+        pipeline: &'a Pipeline,
+        graph: &'a SimilarityGraph,
+        objective: &'a PairwiseObjective,
+        ground: &[NodeId],
+    ) -> Self {
+        let pool = pipeline.from_vec(canonical_pool(ground));
+        let broadcast_base = pipeline.metrics().bytes_broadcast;
+        DataflowGreedyBackend { pipeline, graph, objective, pool, table: None, broadcast_base }
+    }
+}
+
+impl MachineGreedyBackend for DataflowGreedyBackend<'_> {
+    fn pool_len(&self) -> usize {
+        self.pool.num_records() as usize
+    }
+
+    fn begin_phase(&mut self, keying: MachineKeying, _machines: usize) -> Result<u64, DistError> {
+        let objective = self.objective;
+        let table = self
+            .pool
+            .map(move |v| (keying.machine_of(v), (v, objective.utility(NodeId::new(v)))))?;
+        self.table = Some(table);
+        Ok(0)
+    }
+
+    fn step(&mut self, previous: &[(u64, u64)]) -> Result<StepWinners, DistError> {
+        let mut table = self.table.clone().expect("step called outside a phase");
+        if !previous.is_empty() {
+            // Broadcast the winners and apply the decrease wave
+            // shard-locally: the winner leaves its machine's pool, and
+            // every surviving same-machine candidate adjacent to it
+            // loses `(β/α)·s(winner, v)` — the same single subtraction,
+            // with the winner-side edge weight, as the queue update.
+            let winners = self.pipeline.broadcast(previous.to_vec());
+            let graph = self.graph;
+            let ratio = self.objective.ratio();
+            table = table.flat_map(move |(machine, (v, p))| {
+                match winners.get().binary_search_by_key(&machine, |&(m, _)| m) {
+                    Err(_) => Some((machine, (v, p))),
+                    Ok(slot) => {
+                        let winner = winners.get()[slot].1;
+                        if v == winner {
+                            None // popped: the winner leaves the pool
+                        } else {
+                            match graph.edge_weight(NodeId::new(winner), NodeId::new(v)) {
+                                Some(s) => Some((machine, (v, p - ratio * f64::from(s)))),
+                                None => Some((machine, (v, p))),
+                            }
+                        }
+                    }
+                }
+            })?;
+            self.table = Some(table.clone());
+        }
+        let mut winners: Vec<(u64, u64, f64)> = table
+            .argmax_per_key()?
+            .collect()?
+            .into_iter()
+            .map(|(machine, (node, priority))| (machine, node, priority))
+            .collect();
+        winners.sort_unstable_by_key(|&(machine, _, _)| machine);
+        let driver_bytes = (winners.len() * size_of::<(u64, u64, f64)>()) as u64;
+        Ok(StepWinners { winners, driver_bytes })
+    }
+
+    fn end_phase(&mut self, survivors: &NodeSet) -> Result<(), DistError> {
+        let keep =
+            self.pipeline.broadcast_words(survivors.words().to_vec(), self.graph.num_nodes());
+        self.pool = self.pool.filter(move |&v| keep.contains(v))?;
+        self.table = None;
+        Ok(())
+    }
+
+    fn bytes_broadcast(&self) -> u64 {
+        self.pipeline.metrics().bytes_broadcast - self.broadcast_base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use submod_core::GraphBuilder;
+
+    fn instance(n: usize) -> (SimilarityGraph, PairwiseObjective) {
+        let mut b = GraphBuilder::new(n);
+        for v in 0..n as u64 {
+            b.add_undirected(v, (v + 1) % n as u64, 0.4).unwrap();
+            b.add_undirected(v, (v + 5) % n as u64, 0.2).unwrap();
+        }
+        let graph = b.build();
+        let utilities: Vec<f32> = (0..n).map(|i| 0.2 + ((i * 7) % 31) as f32 / 31.0).collect();
+        (graph, PairwiseObjective::from_alpha(0.85, utilities).unwrap())
+    }
+
+    fn ground(n: usize) -> Vec<NodeId> {
+        (0..n).map(NodeId::from_index).collect()
+    }
+
+    #[test]
+    fn keying_is_deterministic_and_in_range() {
+        let forced = Arc::new(NodeSet::from_members(10, [NodeId::new(7)]));
+        let keyings = [
+            MachineKeying::Hash { seed: 3, machines: 4 },
+            MachineKeying::HashForced { seed: 3, machines: 4, forced },
+            MachineKeying::Contiguous { chunk: 3 },
+        ];
+        for keying in &keyings {
+            for v in 0..10u64 {
+                let m = keying.machine_of(v);
+                assert_eq!(m, keying.machine_of(v));
+                assert!(m < 4, "machine {m} out of range for node {v}");
+            }
+        }
+        // The forced node lands on machine 0 regardless of its hash.
+        assert_eq!(keyings[1].machine_of(7), 0);
+        assert_eq!(keyings[2].machine_of(5), 1);
+    }
+
+    #[test]
+    fn backends_agree_step_for_step() {
+        let (graph, objective) = instance(24);
+        let ground = ground(24);
+        let pipeline = Pipeline::new(3).unwrap();
+        let mut mem = InMemoryGreedyBackend::new(&graph, &objective, &ground);
+        let mut df = DataflowGreedyBackend::new(&pipeline, &graph, &objective, &ground);
+        for backend in [&mut mem as &mut dyn MachineGreedyBackend, &mut df] {
+            backend.begin_phase(MachineKeying::Hash { seed: 11, machines: 3 }, 3).unwrap();
+        }
+        let mut prev_mem: Vec<(u64, u64)> = Vec::new();
+        let mut prev_df: Vec<(u64, u64)> = Vec::new();
+        for step in 0..8 {
+            let a = mem.step(&prev_mem).unwrap();
+            let b = df.step(&prev_df).unwrap();
+            assert_eq!(a.winners.len(), b.winners.len(), "step {step}");
+            for (x, y) in a.winners.iter().zip(&b.winners) {
+                assert_eq!(x.0, y.0, "machine at step {step}");
+                assert_eq!(x.1, y.1, "node at step {step}");
+                assert_eq!(x.2.to_bits(), y.2.to_bits(), "priority bits at step {step}");
+            }
+            prev_mem = a.winners.iter().map(|&(m, v, _)| (m, v)).collect();
+            prev_df = prev_mem.clone();
+        }
+    }
+
+    #[test]
+    fn bulk_phase_equals_step_loop_and_dataflow() {
+        let (graph, objective) = instance(30);
+        let ground = ground(30);
+        let keying = || MachineKeying::Hash { seed: 7, machines: 4 };
+        for quota in [0usize, 1, 3, 8, 50] {
+            // In-memory via the bulk fast path (what run_phase dispatches).
+            let mut bulk = InMemoryGreedyBackend::new(&graph, &objective, &ground);
+            bulk.begin_phase(keying(), 4).unwrap();
+            let via_bulk = run_phase(&mut bulk, 30, quota).unwrap();
+            // In-memory forced through the generic step loop.
+            let mut stepped = InMemoryGreedyBackend::new(&graph, &objective, &ground);
+            stepped.begin_phase(keying(), 4).unwrap();
+            let mut via_steps = PhaseOutcome {
+                selected: Vec::new(),
+                members: NodeSet::new(30),
+                steps: 0,
+                peak_step_winners: 0,
+                driver_bytes: 0,
+            };
+            let mut previous: Vec<(u64, u64)> = Vec::new();
+            for _ in 0..quota {
+                let step = stepped.step(&previous).unwrap();
+                if step.winners.is_empty() {
+                    break;
+                }
+                via_steps.steps += 1;
+                via_steps.peak_step_winners = via_steps.peak_step_winners.max(step.winners.len());
+                via_steps.driver_bytes += step.driver_bytes;
+                previous = step
+                    .winners
+                    .iter()
+                    .map(|&(m, v, _)| {
+                        via_steps.selected.push(NodeId::new(v));
+                        via_steps.members.insert(NodeId::new(v));
+                        (m, v)
+                    })
+                    .collect();
+            }
+            assert_eq!(via_bulk.selected, via_steps.selected, "quota {quota}");
+            assert_eq!(via_bulk.steps, via_steps.steps, "quota {quota}");
+            assert_eq!(via_bulk.peak_step_winners, via_steps.peak_step_winners);
+            assert_eq!(via_bulk.driver_bytes, via_steps.driver_bytes);
+            // And the dataflow backend (no bulk path) agrees too.
+            let pipeline = Pipeline::new(3).unwrap();
+            let mut df = DataflowGreedyBackend::new(&pipeline, &graph, &objective, &ground);
+            df.begin_phase(keying(), 4).unwrap();
+            let via_df = run_phase(&mut df, 30, quota).unwrap();
+            assert_eq!(via_bulk.selected, via_df.selected, "quota {quota}");
+            assert_eq!(via_bulk.steps, via_df.steps);
+        }
+    }
+
+    #[test]
+    fn phase_exhausts_small_buckets() {
+        let (graph, objective) = instance(9);
+        let ground = ground(9);
+        let mut mem = InMemoryGreedyBackend::new(&graph, &objective, &ground);
+        mem.begin_phase(MachineKeying::Contiguous { chunk: 3 }, 3).unwrap();
+        let outcome = run_phase(&mut mem, 9, 100).unwrap();
+        // Quota far above the bucket size: every machine empties after 3
+        // steps and the phase stops.
+        assert_eq!(outcome.steps, 3);
+        assert_eq!(outcome.selected.len(), 9);
+        assert_eq!(outcome.members.len(), 9);
+    }
+}

@@ -4,13 +4,25 @@
 //! machine re-runs greedy on the union of all `m` local solutions — so
 //! the merge machine must hold `m·k` points, growing linearly with the
 //! cluster size. The multi-round algorithm exists to avoid exactly that.
+//!
+//! The **map phase** runs through the same shared backend as the
+//! multi-round algorithm (`MachineGreedyBackend`): partitions are a
+//! deterministic keyed transform (contiguous chunks for the original
+//! "arbitrary" analysis, a seeded hash for RandGreeDi), per-machine
+//! selection advances in synchronized Algorithm-2 steps, and on the
+//! dataflow driver ([`greedi_dataflow`]) the scored pool stays inside
+//! the engine with only `O(machines)` winner rows collected per step.
+//! The **merge phase** is deliberately driver-side on both drivers —
+//! holding the `m·k`-point union on one machine *is* the baseline's
+//! memory story the paper argues against.
 
+use crate::engine::{
+    run_phase, DataflowGreedyBackend, InMemoryGreedyBackend, MachineGreedyBackend, MachineKeying,
+};
 use crate::multiround::machine_select;
 use crate::{DistError, PartitionStyle};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use submod_core::{NodeId, PairwiseObjective, Selection, SimilarityGraph};
+use submod_dataflow::Pipeline;
 
 /// Memory footprint of the centralized merge step.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,11 +48,81 @@ pub struct GreediReport {
 /// plus a 10-neighbor adjacency list at 16 B per entry).
 const MERGE_BYTES_PER_POINT: u64 = 16 + 10 * 16;
 
+fn validate(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    machines: usize,
+) -> Result<(), DistError> {
+    if machines == 0 {
+        return Err(DistError::config("machine count must be at least 1"));
+    }
+    if objective.num_nodes() != graph.num_nodes() {
+        return Err(submod_core::CoreError::UtilityLengthMismatch {
+            utilities: objective.num_nodes(),
+            num_nodes: graph.num_nodes(),
+        }
+        .into());
+    }
+    if k > graph.num_nodes() {
+        return Err(submod_core::CoreError::BudgetTooLarge {
+            budget: k,
+            available: graph.num_nodes(),
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// The keyed partition assignment of a GreeDi run.
+fn keying_for(style: PartitionStyle, n: usize, machines: usize, seed: u64) -> MachineKeying {
+    match style {
+        PartitionStyle::Arbitrary => {
+            MachineKeying::Contiguous { chunk: (n as u64).div_ceil(machines as u64).max(1) }
+        }
+        PartitionStyle::Random => {
+            MachineKeying::Hash { seed: seed ^ 0x0006_EED1, machines: machines as u64 }
+        }
+    }
+}
+
+/// The shared map + merge driver: identical on both backends, which is
+/// what makes the in-memory and dataflow runs bitwise-identical.
+fn run_greedi(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    machines: usize,
+    style: PartitionStyle,
+    seed: u64,
+    backend: &mut dyn MachineGreedyBackend,
+) -> Result<GreediReport, DistError> {
+    let n = graph.num_nodes();
+    // Map phase: every machine solves its partition for the full budget
+    // `k`, one synchronized argmax step at a time.
+    backend.begin_phase(keying_for(style, n, machines, seed), machines)?;
+    let outcome = run_phase(backend, n, k)?;
+
+    // Merge phase: one machine holds the whole union and re-runs greedy.
+    let union_size = outcome.selected.len();
+    let mut merge_pool = outcome.selected;
+    let chosen = machine_select(graph, objective, &mut merge_pool, k)?;
+    let value = objective.evaluate(graph, &chosen);
+
+    Ok(GreediReport {
+        selection: Selection::new(chosen, Vec::new(), value),
+        merge: MergeStats {
+            union_size,
+            merge_memory_bytes: union_size as u64 * MERGE_BYTES_PER_POINT,
+        },
+    })
+}
+
 /// Runs GreeDi with `machines` partitions.
 ///
 /// `style` picks the partitioning of the original analysis
 /// ([`PartitionStyle::Arbitrary`], contiguous id chunks) or the
-/// randomized variant ([`PartitionStyle::Random`]).
+/// randomized variant ([`PartitionStyle::Random`], a seeded hash).
 ///
 /// # Errors
 ///
@@ -54,54 +136,36 @@ pub fn greedi(
     style: PartitionStyle,
     seed: u64,
 ) -> Result<GreediReport, DistError> {
-    if machines == 0 {
-        return Err(DistError::config("machine count must be at least 1"));
-    }
-    if objective.num_nodes() != graph.num_nodes() {
-        return Err(submod_core::CoreError::UtilityLengthMismatch {
-            utilities: objective.num_nodes(),
-            num_nodes: graph.num_nodes(),
-        }
-        .into());
-    }
-    let n = graph.num_nodes();
-    if k > n {
-        return Err(submod_core::CoreError::BudgetTooLarge { budget: k, available: n }.into());
-    }
+    validate(graph, objective, k, machines)?;
+    let ground: Vec<NodeId> = (0..graph.num_nodes()).map(NodeId::from_index).collect();
+    let mut backend = InMemoryGreedyBackend::new(graph, objective, &ground);
+    run_greedi(graph, objective, k, machines, style, seed, &mut backend)
+}
 
-    let mut ids: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
-    if style == PartitionStyle::Random {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x0006_EED1);
-        ids.shuffle(&mut rng);
-    }
-    let chunk = n.div_ceil(machines).max(1);
-
-    // Map phase: every machine solves its partition for the full budget,
-    // all machines concurrently on the pool; the union is assembled in
-    // partition order so the merge input is identical at any thread
-    // count.
-    let partitions: Vec<Vec<NodeId>> = ids.chunks(chunk).map(<[NodeId]>::to_vec).collect();
-    let locals = submod_exec::parallel_map_result(partitions, |mut part| {
-        machine_select(graph, objective, &mut part, k)
-    })?;
-    let mut union: Vec<NodeId> = Vec::with_capacity(machines * k.min(chunk));
-    for chosen in locals {
-        union.extend(chosen);
-    }
-
-    // Merge phase: one machine holds the whole union and re-runs greedy.
-    let union_size = union.len();
-    let mut merge_pool = union;
-    let chosen = machine_select(graph, objective, &mut merge_pool, k)?;
-    let value = objective.evaluate(graph, &chosen);
-
-    Ok(GreediReport {
-        selection: Selection::new(chosen, Vec::new(), value),
-        merge: MergeStats {
-            union_size,
-            merge_memory_bytes: union_size as u64 * MERGE_BYTES_PER_POINT,
-        },
-    })
+/// [`greedi`] with the map phase on the dataflow engine: partitions are
+/// engine shards of the keyed pool, per-machine argmax runs as engine
+/// aggregations, and the driver collects `O(machines)` winner rows per
+/// step until the `m·k`-point union is assembled for the (deliberately
+/// driver-side) merge.
+///
+/// The outcome is **identical** to [`greedi`] by construction.
+///
+/// # Errors
+///
+/// Same conditions as [`greedi`], plus spill I/O failures.
+pub fn greedi_dataflow(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    machines: usize,
+    style: PartitionStyle,
+    seed: u64,
+) -> Result<GreediReport, DistError> {
+    validate(graph, objective, k, machines)?;
+    let ground: Vec<NodeId> = (0..graph.num_nodes()).map(NodeId::from_index).collect();
+    let mut backend = DataflowGreedyBackend::new(pipeline, graph, objective, &ground);
+    run_greedi(graph, objective, k, machines, style, seed, &mut backend)
 }
 
 #[cfg(test)]
@@ -160,6 +224,22 @@ mod tests {
             "GreeDi quality too low: {} vs {central}",
             report.selection.objective_value()
         );
+    }
+
+    #[test]
+    fn dataflow_map_phase_is_bitwise_identical() {
+        let (graph, objective) = instance(80);
+        for style in [PartitionStyle::Arbitrary, PartitionStyle::Random] {
+            let mem = greedi(&graph, &objective, 8, 4, style, 5).unwrap();
+            let pipeline = Pipeline::new(3).unwrap();
+            let df = greedi_dataflow(&pipeline, &graph, &objective, 8, 4, style, 5).unwrap();
+            assert_eq!(df.selection.selected(), mem.selection.selected(), "{style:?}");
+            assert_eq!(
+                df.selection.objective_value().to_bits(),
+                mem.selection.objective_value().to_bits()
+            );
+            assert_eq!(df.merge, mem.merge);
+        }
     }
 
     #[test]

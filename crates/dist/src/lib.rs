@@ -13,9 +13,16 @@
 //!   pipeline's per-worker memory budget.
 //! - [`distributed_greedy`] / [`distributed_greedy_dataflow`] — the
 //!   multi-round partitioned greedy (§4.4) with [`DeltaSchedule`] pool
-//!   targets and optional adaptive partitioning.
-//! - [`greedi`] — the GreeDi / RandGreeDi baseline whose merge machine
-//!   must hold `m·k` points (§2's systems motivation).
+//!   targets and optional adaptive partitioning. Both drivers share one
+//!   backend-parameterized round loop (partition assignment is a
+//!   deterministic keyed transform, per-machine argmax runs as
+//!   synchronized Algorithm-2 steps), so their selections are
+//!   bitwise-identical; the dataflow driver keeps the scored pool
+//!   engine-resident and only collects `O(machines)` winner rows per
+//!   step, metered by [`GreedyStats`].
+//! - [`greedi`] / [`greedi_dataflow`] — the GreeDi / RandGreeDi baseline
+//!   whose merge machine must hold `m·k` points (§2's systems
+//!   motivation), with the map phase on the same shared backend.
 //! - [`score_in_memory`] / [`score_dataflow`] — subset scoring, including
 //!   the §5 dataflow pipeline that joins the fanned-out neighbor graph
 //!   against the subset.
@@ -55,6 +62,7 @@
 
 mod bounding;
 mod config;
+mod engine;
 mod error;
 mod greedi;
 mod mix;
@@ -71,9 +79,10 @@ pub use config::{
     BoundingConfig, DeltaSchedule, DistGreedyConfig, PartitionStyle, SamplingStrategy,
 };
 pub use error::DistError;
-pub use greedi::{greedi, GreediReport, MergeStats};
+pub use greedi::{greedi, greedi_dataflow, GreediReport, MergeStats};
 pub use multiround::{
-    distributed_greedy, distributed_greedy_dataflow, DistGreedyReport, RoundStats,
+    distributed_greedy, distributed_greedy_dataflow, distributed_greedy_dataflow_with_stats,
+    distributed_greedy_with_stats, DistGreedyReport, GreedyStats, RoundStats,
 };
 pub use pipeline::{complete_selection, select_subset, PipelineConfig, PipelineOutcome};
 pub use score::{score_dataflow, score_in_memory};

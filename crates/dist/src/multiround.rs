@@ -1,25 +1,40 @@
-//! The multi-round distributed greedy algorithm (paper §4.4).
+//! The multi-round distributed greedy algorithm (paper §4.4),
+//! engine-resident.
 //!
-//! Each round partitions the surviving candidate pool across `m`
-//! machines; every machine runs the centralized priority-queue greedy on
-//! the *induced subgraph* of its partition (cross-partition edges are
-//! discarded — the information loss the multi-round structure exists to
-//! repair) and keeps its share of the round's Δ target. Machines execute
-//! concurrently on the `submod_exec` pool, with outputs merged in
-//! partition order so selections are identical at any thread count. The union of the
-//! machine outputs is the next round's pool, so the pool shrinks from
-//! `n` toward `k` along the [`DeltaSchedule`], and no machine ever holds
-//! more than one round-1 partition (`⌈n/m⌉` points) — the §2 systems
-//! contrast with GreeDi's `m·k`-point merge.
+//! Each round keys the surviving candidate pool across `m` machines with
+//! a deterministic hash ([`crate::engine::MachineKeying`]); every machine
+//! then runs the centralized priority-queue greedy over its partition
+//! (cross-partition edges are ignored — the information loss the
+//! multi-round structure exists to repair) in **synchronized steps**: one
+//! pop per machine per step, with the previous winners' neighbors
+//! receiving Algorithm 2's priority decrease between steps. The union of
+//! the machine selections is the next round's pool, so the pool shrinks
+//! from `n` toward `k` along the [`DeltaSchedule`], and a machine holds
+//! one round-1 partition — `n/m` points in expectation (the hash keying
+//! balances binomially, not exactly) — the §2 systems contrast with
+//! GreeDi's `m·k`-point merge.
+//!
+//! Both drivers run the identical round loop over a shared backend
+//! (`MachineGreedyBackend`, the greedy counterpart of bounding's
+//! `PassBackend`): the in-memory driver holds per-machine priority
+//! queues (`O(pool)` driver bytes per round), while
+//! [`distributed_greedy_dataflow`] keeps the scored pool inside the
+//! engine and the driver only ever collects the `O(machines)` winner
+//! rows of each step plus the Δ-schedule bookkeeping. Their selections
+//! are **bitwise identical** at any thread count — the cross-driver
+//! differential suite pins this.
 //!
 //! With [`DistGreedyConfig::adaptive`] the partition count drops as the
 //! pool shrinks, so machines stay full and late rounds approach the
 //! centralized algorithm — the §6.4 worst-case repair.
+//!
+//! [`DeltaSchedule`]: crate::DeltaSchedule
 
+use crate::engine::{
+    run_phase, DataflowGreedyBackend, InMemoryGreedyBackend, MachineGreedyBackend, MachineKeying,
+};
 use crate::{DistError, DistGreedyConfig};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use std::sync::Arc;
 use submod_core::{greedy_select, NodeId, NodeSet, PairwiseObjective, Selection, SimilarityGraph};
 use submod_dataflow::Pipeline;
 
@@ -45,6 +60,58 @@ pub struct DistGreedyReport {
     pub selection: Selection,
     /// Per-round statistics, one entry per configured round.
     pub rounds: Vec<RoundStats>,
+}
+
+/// Driver-side memory accounting for one multi-round greedy run — the §5
+/// larger-than-memory claim, greedy edition.
+///
+/// The *driver* is the process orchestrating the rounds. What
+/// distinguishes the drivers is `peak_round_bytes`, the largest per-round
+/// materialization: the in-memory driver keys the whole pool into
+/// per-machine priority queues (`O(pool)` per round), while the
+/// engine-resident dataflow driver only ever collects the per-step winner
+/// rows (`O(machines)` per step, `O(candidates)` per round — `candidates`
+/// being the round's selected points). Persistent driver state is the
+/// round's winner set and order: `O(round output)`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GreedyStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Synchronized argmax steps executed across all rounds.
+    pub steps: usize,
+    /// Peak bytes of per-round driver-side materializations (keyed pool
+    /// and queues for the in-memory driver; collected winner rows alone
+    /// for the dataflow driver).
+    pub peak_round_bytes: u64,
+    /// Largest single-step winner collection (bounded by the machine
+    /// count).
+    pub peak_step_winners: usize,
+    /// Winner rows collected across the whole run.
+    pub winners_collected: usize,
+    /// Peak bytes of persistent driver state: the round's winner bitset,
+    /// the ordered winner list, and the round statistics.
+    pub peak_state_bytes: u64,
+    /// Bytes replicated to workers as broadcast side-inputs (previous
+    /// winners and survivor bitsets; 0 for the in-memory driver).
+    pub bytes_broadcast: u64,
+}
+
+impl GreedyStats {
+    fn observe_round(
+        &mut self,
+        round_bytes: u64,
+        steps: usize,
+        peak_step_winners: usize,
+        winners: usize,
+        state_bytes: u64,
+    ) {
+        self.rounds += 1;
+        self.steps += steps;
+        self.peak_round_bytes = self.peak_round_bytes.max(round_bytes);
+        self.peak_step_winners = self.peak_step_winners.max(peak_step_winners);
+        self.winners_collected += winners;
+        self.peak_state_bytes = self.peak_state_bytes.max(state_bytes);
+    }
 }
 
 fn validate(
@@ -79,7 +146,10 @@ fn validate(
 
 /// Runs the local greedy of one machine: the induced subgraph of
 /// `partition` (sorted ascending so tie-breaking matches the centralized
-/// reference), local utilities, budget `quota`.
+/// reference), local utilities, budget `quota`. Retained as the
+/// driver-side merge/trim kernel (GreeDi's merge machine, the finalize
+/// trim) — per-round machine selection now runs through the shared
+/// backend instead.
 pub(crate) fn machine_select(
     graph: &SimilarityGraph,
     objective: &PairwiseObjective,
@@ -112,42 +182,6 @@ fn round_partitions(config: &DistGreedyConfig, pool_len: usize, capacity: usize)
     }
 }
 
-/// Deterministic per-round partition assignment. Returns `partitions`
-/// buckets covering `pool`.
-fn assign_partitions(
-    pool: &[NodeId],
-    partitions: usize,
-    round: usize,
-    config: &DistGreedyConfig,
-    rng: &mut StdRng,
-) -> Vec<Vec<NodeId>> {
-    let mut shuffled = pool.to_vec();
-    shuffled.shuffle(rng);
-    let mut buckets: Vec<Vec<NodeId>> = vec![Vec::new(); partitions];
-    if round == 1 {
-        if let Some(solution) = &config.adversarial_first_round {
-            // Worst case (§6.4): the whole reference solution lands on
-            // machine 0; everyone else is spread round-robin.
-            let forced: NodeSet = solution.iter().copied().collect::<NodeSet>();
-            let mut slot = 0usize;
-            for v in shuffled {
-                if forced.contains(v) {
-                    buckets[0].push(v);
-                } else {
-                    buckets[slot % partitions].push(v);
-                    slot += 1;
-                }
-            }
-            return buckets;
-        }
-    }
-    let chunk = pool.len().div_ceil(partitions).max(1);
-    for (i, v) in shuffled.into_iter().enumerate() {
-        buckets[(i / chunk).min(partitions - 1)].push(v);
-    }
-    buckets
-}
-
 /// Tops `chosen` up to `k` points with the best not-yet-chosen
 /// candidates by utility (descending, id tie-break) — the shared safety
 /// net for degenerate pools, used by both the round driver and the
@@ -171,6 +205,8 @@ pub(crate) fn fill_by_utility(
 
 /// Closes a run: trims an oversized pool with one greedy pass, tops up an
 /// undersized one by utility, and scores the result on the full graph.
+/// Runs on the driver over the final `O(k)`-sized pool — identical input
+/// on both drivers, hence identical output.
 fn finalize(
     graph: &SimilarityGraph,
     objective: &PairwiseObjective,
@@ -185,6 +221,73 @@ fn finalize(
     fill_by_utility(graph, objective, &mut pool, ground, k);
     let value = objective.evaluate(graph, &pool);
     Ok(Selection::new(pool, Vec::new(), value))
+}
+
+/// The shared round driver. The backend produces per-step winner rows;
+/// everything downstream — the Δ-schedule targets, partition counts,
+/// keying, winner accounting, and the final trim — is common code, which
+/// is what guarantees in-memory/dataflow equality.
+fn run_multiround(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    ground: &[NodeId],
+    k: usize,
+    config: &DistGreedyConfig,
+    backend: &mut dyn MachineGreedyBackend,
+) -> Result<(DistGreedyReport, GreedyStats), DistError> {
+    let n = graph.num_nodes();
+    let n0 = backend.pool_len();
+    let capacity = n0.div_ceil(config.machines).max(1);
+    let adversarial: Option<Arc<NodeSet>> = config
+        .adversarial_first_round
+        .as_ref()
+        .map(|solution| Arc::new(NodeSet::from_members(n, solution.iter().copied())));
+
+    let mut stats = GreedyStats::default();
+    let mut pool_len = n0;
+    let mut rounds = Vec::with_capacity(config.rounds);
+    let mut final_pool: Vec<NodeId> = Vec::new();
+
+    for round in 1..=config.rounds {
+        let target = config.schedule.target(n0, k, round, config.rounds);
+        let partitions = round_partitions(config, pool_len, capacity);
+        let quota = target.div_ceil(partitions);
+        let seed = config.seed ^ (round as u64) << 32;
+        let keying = match (&adversarial, round) {
+            (Some(forced), 1) => MachineKeying::HashForced {
+                seed,
+                machines: partitions as u64,
+                forced: forced.clone(),
+            },
+            _ => MachineKeying::Hash { seed, machines: partitions as u64 },
+        };
+        let phase_bytes = backend.begin_phase(keying, partitions)?;
+        let outcome = run_phase(backend, n, quota)?;
+        backend.end_phase(&outcome.members)?;
+        let state_bytes = (size_of_val(outcome.members.words())
+            + outcome.selected.len() * size_of::<u64>()
+            + (rounds.len() + 1) * size_of::<RoundStats>()) as u64;
+        stats.observe_round(
+            phase_bytes + outcome.driver_bytes,
+            outcome.steps,
+            outcome.peak_step_winners,
+            outcome.selected.len(),
+            state_bytes,
+        );
+        rounds.push(RoundStats {
+            round,
+            input_size: pool_len,
+            target,
+            partitions,
+            output_size: outcome.selected.len(),
+        });
+        pool_len = outcome.selected.len();
+        final_pool = outcome.selected;
+    }
+    stats.bytes_broadcast = backend.bytes_broadcast();
+
+    let selection = finalize(graph, objective, ground, final_pool, k)?;
+    Ok((DistGreedyReport { selection, rounds }, stats))
 }
 
 /// Runs the multi-round distributed greedy algorithm over `ground`.
@@ -204,46 +307,35 @@ pub fn distributed_greedy(
     k: usize,
     config: &DistGreedyConfig,
 ) -> Result<DistGreedyReport, DistError> {
-    validate(graph, objective, ground, k)?;
-    let n0 = ground.len();
-    let capacity = n0.div_ceil(config.machines).max(1);
-    let mut rng = StdRng::seed_from_u64(config.seed ^ 0xD157_6EED);
-    let mut pool: Vec<NodeId> = ground.to_vec();
-    let mut rounds = Vec::with_capacity(config.rounds);
-
-    for round in 1..=config.rounds {
-        let target = config.schedule.target(n0, k, round, config.rounds);
-        let input_size = pool.len();
-        let partitions = round_partitions(config, pool.len(), capacity);
-        let buckets = assign_partitions(&pool, partitions, round, config, &mut rng);
-        let quota = target.div_ceil(partitions);
-        // Every machine of the round runs concurrently on the pool;
-        // results are merged in partition order, so the outcome is
-        // identical to the sequential loop at any thread count.
-        let machine_outputs = submod_exec::parallel_map_result(buckets, |mut bucket| {
-            machine_select(graph, objective, &mut bucket, quota)
-        })?;
-        let mut next = Vec::with_capacity(partitions * quota);
-        for chosen in machine_outputs {
-            next.extend(chosen);
-        }
-        rounds.push(RoundStats { round, input_size, target, partitions, output_size: next.len() });
-        pool = next;
-    }
-
-    let selection = finalize(graph, objective, ground, pool, k)?;
-    Ok(DistGreedyReport { selection, rounds })
+    distributed_greedy_with_stats(graph, objective, ground, k, config).map(|(report, _)| report)
 }
 
-/// [`distributed_greedy`] on the dataflow engine: the pool lives in a
-/// [`submod_dataflow::PCollection`], rounds shuffle it by partition key,
-/// and each partition's greedy runs inside a `flat_map` — one group (one
-/// partition) at a time, exactly the paper's per-machine memory story.
+/// [`distributed_greedy`] plus the driver-side memory accounting.
 ///
-/// Partition assignment hashes node ids instead of drawing a global
-/// permutation, so outputs can differ from the in-memory driver by the
-/// partitioning draw (quality is equivalent; the baselines suite checks a
-/// ±10 % band).
+/// # Errors
+///
+/// Same conditions as [`distributed_greedy`].
+pub fn distributed_greedy_with_stats(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    ground: &[NodeId],
+    k: usize,
+    config: &DistGreedyConfig,
+) -> Result<(DistGreedyReport, GreedyStats), DistError> {
+    validate(graph, objective, ground, k)?;
+    let mut backend = InMemoryGreedyBackend::new(graph, objective, ground);
+    run_multiround(graph, objective, ground, k, config, &mut backend)
+}
+
+/// [`distributed_greedy`] on the dataflow engine: the scored pool lives
+/// in a [`submod_dataflow::PCollection`], partition assignment is the
+/// same deterministic keyed transform, per-machine argmax runs as
+/// engine-side aggregations, and the driver only collects the
+/// `O(machines)` winner rows of each step.
+///
+/// The outcome is **identical** to [`distributed_greedy`] by
+/// construction: both drivers share the round loop, the keying, the
+/// priority arithmetic, and the tie order.
 ///
 /// # Errors
 ///
@@ -256,63 +348,28 @@ pub fn distributed_greedy_dataflow(
     k: usize,
     config: &DistGreedyConfig,
 ) -> Result<DistGreedyReport, DistError> {
-    validate(graph, objective, ground, k)?;
-    let n0 = ground.len();
-    let capacity = n0.div_ceil(config.machines).max(1);
-    let mut pool = pipeline.from_vec(ground.iter().map(|v| v.raw()).collect::<Vec<u64>>());
-    let mut rounds = Vec::with_capacity(config.rounds);
-
-    for round in 1..=config.rounds {
-        let target = config.schedule.target(n0, k, round, config.rounds);
-        let input_size = pool.count()? as usize;
-        let partitions = round_partitions(config, input_size, capacity);
-        let quota = target.div_ceil(partitions);
-        let seed = config.seed ^ (round as u64) << 32;
-        let adversarial = config
-            .adversarial_first_round
-            .as_ref()
-            .map(|solution| NodeSet::from_members(graph.num_nodes(), solution.iter().copied()));
-        let keyed = pool.map(move |v| {
-            if round == 1 {
-                if let Some(forced) = &adversarial {
-                    if forced.contains(NodeId::new(v)) {
-                        return (0u64, v);
-                    }
-                }
-            }
-            (partition_key(seed, v) % partitions as u64, v)
-        })?;
-        // `flat_map` closures cannot return `Result`, so machine failures
-        // are parked in a slot and re-raised after the transform — the
-        // dataflow driver keeps the same error contract as the in-memory
-        // one.
-        let machine_error: std::sync::Mutex<Option<DistError>> = std::sync::Mutex::new(None);
-        let selected = keyed.group_by_key()?.flat_map(|(_, members)| {
-            let mut bucket: Vec<NodeId> = members.into_iter().map(NodeId::new).collect();
-            match machine_select(graph, objective, &mut bucket, quota) {
-                Ok(chosen) => chosen.into_iter().map(|v| v.raw()).collect::<Vec<u64>>(),
-                Err(err) => {
-                    machine_error.lock().expect("machine error slot").get_or_insert(err);
-                    Vec::new()
-                }
-            }
-        })?;
-        if let Some(err) = machine_error.into_inner().expect("machine error slot") {
-            return Err(err);
-        }
-        let output_size = selected.count()? as usize;
-        rounds.push(RoundStats { round, input_size, target, partitions, output_size });
-        pool = selected;
-    }
-
-    let final_pool: Vec<NodeId> = pool.collect()?.into_iter().map(NodeId::new).collect();
-    let selection = finalize(graph, objective, ground, final_pool, k)?;
-    Ok(DistGreedyReport { selection, rounds })
+    distributed_greedy_dataflow_with_stats(pipeline, graph, objective, ground, k, config)
+        .map(|(report, _)| report)
 }
 
-/// splitmix64 partition key: deterministic, uncorrelated across rounds.
-fn partition_key(seed: u64, node: u64) -> u64 {
-    crate::mix::mix_seed_node(seed, node)
+/// [`distributed_greedy_dataflow`] plus the driver-side memory
+/// accounting that proves the pool stayed engine-resident:
+/// `peak_round_bytes` covers only the collected winner rows.
+///
+/// # Errors
+///
+/// Same conditions as [`distributed_greedy_dataflow`].
+pub fn distributed_greedy_dataflow_with_stats(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    ground: &[NodeId],
+    k: usize,
+    config: &DistGreedyConfig,
+) -> Result<(DistGreedyReport, GreedyStats), DistError> {
+    validate(graph, objective, ground, k)?;
+    let mut backend = DataflowGreedyBackend::new(pipeline, graph, objective, ground);
+    run_multiround(graph, objective, ground, k, config, &mut backend)
 }
 
 #[cfg(test)]
@@ -424,7 +481,7 @@ mod tests {
     }
 
     #[test]
-    fn dataflow_variant_matches_quality() {
+    fn dataflow_variant_is_bitwise_identical() {
         let (graph, objective) = ring_instance(60);
         let config = DistGreedyConfig::new(4, 3).unwrap().seed(5);
         let mem = distributed_greedy(&graph, &objective, &ground(60), 12, &config).unwrap();
@@ -432,8 +489,45 @@ mod tests {
         let df =
             distributed_greedy_dataflow(&pipeline, &graph, &objective, &ground(60), 12, &config)
                 .unwrap();
-        assert_eq!(df.selection.len(), 12);
-        let ratio = df.selection.objective_value() / mem.selection.objective_value();
-        assert!((0.8..=1.25).contains(&ratio), "quality ratio {ratio}");
+        assert_eq!(df.selection.selected(), mem.selection.selected());
+        assert_eq!(
+            df.selection.objective_value().to_bits(),
+            mem.selection.objective_value().to_bits()
+        );
+        assert_eq!(df.rounds, mem.rounds);
+    }
+
+    #[test]
+    fn stats_contrast_the_two_drivers() {
+        let (graph, objective) = ring_instance(80);
+        let config = DistGreedyConfig::new(4, 3).unwrap().seed(7);
+        let (mem, mem_stats) =
+            distributed_greedy_with_stats(&graph, &objective, &ground(80), 10, &config).unwrap();
+        let pipeline = Pipeline::new(3).unwrap();
+        let (df, df_stats) = distributed_greedy_dataflow_with_stats(
+            &pipeline,
+            &graph,
+            &objective,
+            &ground(80),
+            10,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(df.selection.selected(), mem.selection.selected());
+        assert_eq!(mem_stats.rounds, df_stats.rounds);
+        assert_eq!(mem_stats.steps, df_stats.steps);
+        assert_eq!(mem_stats.winners_collected, df_stats.winners_collected);
+        // The in-memory driver pays for the keyed pool; the dataflow
+        // driver only for winner rows.
+        assert!(mem_stats.peak_round_bytes > df_stats.peak_round_bytes);
+        let max_round_output =
+            df.rounds.iter().map(|r| r.output_size).max().expect("at least one round");
+        assert_eq!(
+            df_stats.peak_round_bytes,
+            (max_round_output * size_of::<(u64, u64, f64)>()) as u64,
+            "dataflow round bytes must be winner rows only"
+        );
+        assert!(df_stats.bytes_broadcast > 0, "winners and survivors must broadcast");
+        assert_eq!(mem_stats.bytes_broadcast, 0);
     }
 }

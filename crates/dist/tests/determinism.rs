@@ -3,9 +3,12 @@
 //! or dataflow, bounding or greedy — must be **bitwise identical**.
 //!
 //! This is the contract that makes the parallel runtime safe to adopt:
-//! `submod_exec` merges machine outputs in partition order and the
-//! dataflow engine sequence-tags its shuffle runs, so no floating-point
-//! sum or tie-break ever depends on scheduling.
+//! the greedy backends key machines deterministically and
+//! `submod_exec::parallel_map` returns each step's per-machine winners
+//! in machine order (machines own disjoint queues, so no wave ever
+//! crosses one), and the dataflow engine sequence-tags its shuffle
+//! runs — so no floating-point sum or tie-break ever depends on
+//! scheduling.
 
 use proptest::prelude::*;
 use submod_core::{GraphBuilder, NodeId, PairwiseObjective, SimilarityGraph};
@@ -73,7 +76,7 @@ fn multiround_greedy_is_thread_count_invariant() {
 }
 
 #[test]
-fn dataflow_greedy_is_thread_count_invariant() {
+fn dataflow_greedy_is_thread_count_invariant_and_matches_in_memory() {
     let (graph, objective) = instance(90, 3);
     invariant("dataflow distributed greedy", || {
         let pipeline = Pipeline::new(4).expect("pipeline");
@@ -81,16 +84,26 @@ fn dataflow_greedy_is_thread_count_invariant() {
         let report =
             distributed_greedy_dataflow(&pipeline, &graph, &objective, &ground(90), 12, &config)
                 .expect("run");
+        // Since the engine-resident rewrite the two drivers share the
+        // keying and the step arithmetic: identical, not just close.
+        let mem = distributed_greedy(&graph, &objective, &ground(90), 12, &config).expect("mem");
+        assert_eq!(fingerprint(&mem.selection), fingerprint(&report.selection));
+        assert_eq!(mem.rounds, report.rounds);
         (fingerprint(&report.selection), report.rounds)
     });
 }
 
 #[test]
-fn greedi_is_thread_count_invariant() {
+fn greedi_is_thread_count_invariant_and_dataflow_matches() {
     let (graph, objective) = instance(100, 13);
     for style in [PartitionStyle::Arbitrary, PartitionStyle::Random] {
-        invariant("GreeDi", || {
+        invariant("GreeDi (both drivers)", || {
             let report = greedi(&graph, &objective, 10, 4, style, 5).expect("run");
+            let pipeline = Pipeline::new(3).expect("pipeline");
+            let df = submod_dist::greedi_dataflow(&pipeline, &graph, &objective, 10, 4, style, 5)
+                .expect("dataflow");
+            assert_eq!(fingerprint(&report.selection), fingerprint(&df.selection));
+            assert_eq!(report.merge, df.merge);
             (fingerprint(&report.selection), report.merge.union_size)
         });
     }

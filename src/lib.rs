@@ -69,10 +69,11 @@ pub mod prelude {
     pub use submod_dataflow::{DataflowError, MemoryBudget, PCollection, Pipeline};
     pub use submod_dist::{
         bound_dataflow, bound_dataflow_with_stats, bound_in_memory, bound_in_memory_with_stats,
-        complete_selection, distributed_greedy, distributed_greedy_dataflow, greedi,
-        score_dataflow, score_in_memory, select_subset, theorem_4_6, BoundingConfig,
-        BoundingOutcome, BoundingStats, DeltaSchedule, DistError, DistGreedyConfig, PartitionStyle,
-        PipelineConfig, SamplingStrategy,
+        complete_selection, distributed_greedy, distributed_greedy_dataflow,
+        distributed_greedy_dataflow_with_stats, distributed_greedy_with_stats, greedi,
+        greedi_dataflow, score_dataflow, score_in_memory, select_subset, theorem_4_6,
+        BoundingConfig, BoundingOutcome, BoundingStats, DeltaSchedule, DistError, DistGreedyConfig,
+        GreedyStats, PartitionStyle, PipelineConfig, SamplingStrategy,
     };
     pub use submod_knn::{build_knn_graph, Embeddings, KnnBackend, NearestNeighbors};
 }
