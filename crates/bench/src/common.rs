@@ -2,9 +2,19 @@
 //! and the heatmap runner behind Figures 3/4/12–17.
 
 use std::path::PathBuf;
-use submod_core::{greedy_select, PairwiseObjective, ScoreNormalizer};
+use submod_core::{greedy_select, PairwiseObjective, ScoreNormalizer, SimilarityGraph};
 use submod_data::{build_instance, DatasetConfig, SelectionInstance};
 use submod_dist::{distributed_greedy, DeltaSchedule, DistGreedyConfig};
+
+/// Which backing the experiment graphs run on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphStoreMode {
+    /// Owned in-memory CSR arrays (the default).
+    Mem,
+    /// The on-disk store: the graph is written once and reopened as a
+    /// read-only memory mapping, so adjacency costs zero driver heap.
+    Mmap,
+}
 
 /// Global harness context parsed from the command line.
 #[derive(Clone, Debug)]
@@ -18,6 +28,8 @@ pub struct BenchCtx {
     /// Report peak driver-side bytes for the bounding drivers, so the
     /// larger-than-memory claim is a printed number instead of prose.
     pub report_memory: bool,
+    /// Graph backing selected with `--graph-store mem|mmap`.
+    pub graph_store: GraphStoreMode,
 }
 
 impl BenchCtx {
@@ -61,6 +73,78 @@ impl BenchCtx {
         } else {
             vec![0.1, 0.5, 0.8]
         }
+    }
+
+    /// Rebases `graph` onto the backing selected with `--graph-store`.
+    /// `mem` materializes owned CSR arrays (the instance graph arrives
+    /// mmap-backed from the k-NN cache, so this is a real copy, not a
+    /// clone); `mmap` does a write → mmap round-trip through a temp
+    /// store (the file is unlinked immediately; the live mapping keeps
+    /// it readable).
+    pub fn bench_graph(&self, graph: &SimilarityGraph, tag: &str) -> SimilarityGraph {
+        match self.graph_store {
+            GraphStoreMode::Mem => {
+                let (offsets, neighbors, weights) = graph.csr_parts();
+                SimilarityGraph::from_csr_parts(
+                    offsets.to_vec(),
+                    neighbors.to_vec(),
+                    weights.to_vec(),
+                )
+                .expect("owned copy of a valid graph")
+            }
+            GraphStoreMode::Mmap => {
+                let path = std::env::temp_dir()
+                    .join(format!("submod-bench-{}-{tag}.csr", std::process::id()));
+                graph.write_store(&path).expect("write graph store");
+                let mapped = SimilarityGraph::open_store(&path).expect("open graph store");
+                let _ = std::fs::remove_file(&path);
+                mapped
+            }
+        }
+    }
+}
+
+/// Current resident-set size from `/proc/self/status`, in KiB
+/// (`None` off Linux or if the field is missing).
+pub fn current_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Tracks the peak RSS growth across a measured region: baseline at
+/// construction, [`RssMeter::sample`] after each unit of work, delta =
+/// peak − baseline. The graph store's open-time validation pages the
+/// whole file sequentially, so a meter started *after* the graph is
+/// opened charges none of the adjacency bytes to the measured region.
+#[derive(Clone, Copy, Debug)]
+pub struct RssMeter {
+    base_kib: Option<u64>,
+    peak_kib: u64,
+}
+
+impl RssMeter {
+    /// Starts measuring from the current RSS.
+    pub fn start() -> Self {
+        let base = current_rss_kib();
+        RssMeter { base_kib: base, peak_kib: base.unwrap_or(0) }
+    }
+
+    /// Folds the current RSS into the running peak.
+    pub fn sample(&mut self) {
+        if let Some(now) = current_rss_kib() {
+            self.peak_kib = self.peak_kib.max(now);
+        }
+    }
+
+    /// Peak RSS growth since [`RssMeter::start`], in KiB (`None` when
+    /// `/proc/self/status` is unavailable).
+    pub fn delta_kib(&self) -> Option<u64> {
+        self.base_kib.map(|base| self.peak_kib.saturating_sub(base))
     }
 }
 
@@ -175,8 +259,20 @@ mod tests {
 
     #[test]
     fn quick_mode_shrinks_grids() {
-        let full = BenchCtx { out_dir: "r".into(), scale: 0.1, quick: false, report_memory: false };
-        let quick = BenchCtx { out_dir: "r".into(), scale: 0.1, quick: true, report_memory: false };
+        let full = BenchCtx {
+            out_dir: "r".into(),
+            scale: 0.1,
+            quick: false,
+            report_memory: false,
+            graph_store: GraphStoreMode::Mem,
+        };
+        let quick = BenchCtx {
+            out_dir: "r".into(),
+            scale: 0.1,
+            quick: true,
+            report_memory: false,
+            graph_store: GraphStoreMode::Mem,
+        };
         assert!(quick.grid_axis().len() < full.grid_axis().len());
         assert!(quick.alphas().len() < full.alphas().len());
         assert!(quick.subset_fractions().len() < full.subset_fractions().len());

@@ -34,6 +34,13 @@
 //!                multi-round greedy drivers (in-memory tables/queues vs
 //!                engine-resident candidates/winner rows), turning the
 //!                §5 larger-than-memory claim into a number
+//!   --graph-store mem|mmap
+//!                graph backing (default mem). `mmap` writes each
+//!                experiment graph to the on-disk CSR store once and
+//!                reopens it read-only memory-mapped: adjacency costs
+//!                zero driver heap, selections are bitwise-identical,
+//!                and `ltm` reports graph bytes vs the measured peak
+//!                RSS growth of the selection phase
 //! ```
 
 mod common;
@@ -48,7 +55,7 @@ mod exp_walkthrough;
 mod exp_worstcase;
 mod output;
 
-use common::BenchCtx;
+use common::{BenchCtx, GraphStoreMode};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -64,6 +71,7 @@ fn main() {
         scale: 0.1,
         quick: false,
         report_memory: false,
+        graph_store: GraphStoreMode::Mem,
     };
     let mut i = 1;
     while i < args.len() {
@@ -82,6 +90,14 @@ fn main() {
             }
             "--quick" => ctx.quick = true,
             "--report-memory" => ctx.report_memory = true,
+            "--graph-store" => {
+                i += 1;
+                ctx.graph_store = match args.get(i).map(String::as_str) {
+                    Some("mem") => GraphStoreMode::Mem,
+                    Some("mmap") => GraphStoreMode::Mmap,
+                    _ => die("--graph-store expects `mem` or `mmap`"),
+                };
+            }
             "--threads" => {
                 i += 1;
                 let threads: usize = args
@@ -151,7 +167,8 @@ fn run(experiment: &str, ctx: &BenchCtx) {
 fn print_usage() {
     println!(
         "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|all> \
-         [--scale F] [--out DIR] [--quick] [--threads N] [--report-memory]"
+         [--scale F] [--out DIR] [--quick] [--threads N] [--report-memory] \
+         [--graph-store mem|mmap]"
     );
 }
 

@@ -1,17 +1,35 @@
+use crate::store::{self, GraphError};
 use crate::{CoreError, NodeId};
 use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
 
 /// A compact CSR (compressed sparse row) similarity graph.
 ///
 /// Nodes are dense indices `0..n`; each node stores a sorted list of
 /// `(neighbor, similarity)` pairs. The paper (§6) builds a 10-nearest-
 /// neighbor cosine-similarity graph and symmetrizes it; [`SimilarityGraph`]
-/// is the in-memory form of that structure, and [`GraphBuilder`] the way to
-/// construct it from an edge stream.
+/// is that structure, and [`GraphBuilder`] the way to construct it from an
+/// edge stream.
 ///
 /// The objective treats edges as *undirected*: a symmetric graph stores both
 /// directions and [`crate::PairwiseObjective::evaluate`] counts each
 /// undirected edge once.
+///
+/// # Backings
+///
+/// The CSR arrays live behind one of two backings, invisible to every
+/// consumer: **owned** heap vectors (the result of [`GraphBuilder::build`])
+/// or a **memory-mapped** read-only store file ([`Self::open_store`]). The
+/// on-disk form is what makes selection *larger than memory*: the arrays
+/// stay in the page cache, many shards share one immutable mapping, and
+/// opening a prebuilt graph is O(validation), not O(rebuild). Both backings
+/// expose bit-identical arrays, so selections are bitwise-equal regardless
+/// of where the graph lives (see `crates/dist/tests/store_differential.rs`).
+///
+/// Neighbor ids are stored as dense `u32` (4 B/edge instead of 8) — the
+/// node count is capped at `u32::MAX`, far beyond what a single mapping
+/// holds in practice.
 ///
 /// ```
 /// use submod_core::{GraphBuilder, NodeId};
@@ -28,33 +46,74 @@ use std::collections::HashMap;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct SimilarityGraph {
-    offsets: Vec<usize>,
-    neighbors: Vec<NodeId>,
-    weights: Vec<f32>,
+    backing: Backing,
+}
+
+/// Where the CSR arrays live. Cloning a mapped graph clones an [`Arc`], so
+/// the distributed backends hand every shard the same mapping.
+#[derive(Clone, Debug)]
+enum Backing {
+    Owned { offsets: Vec<u64>, neighbors: Vec<u32>, weights: Vec<f32> },
+    Mapped(Arc<store::MappedCsr>),
+}
+
+impl PartialEq for SimilarityGraph {
+    /// Structural equality on the CSR arrays — a mapped graph equals the
+    /// owned graph it was written from.
+    fn eq(&self, other: &Self) -> bool {
+        self.csr_parts() == other.csr_parts()
+    }
 }
 
 impl SimilarityGraph {
     /// Creates a graph with `num_nodes` nodes and no edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` exceeds the `u32` neighbor id space.
     pub fn empty(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes as u64 <= u64::from(u32::MAX),
+            "num_nodes {num_nodes} exceeds the u32 neighbor id space"
+        );
         SimilarityGraph {
-            offsets: vec![0; num_nodes + 1],
-            neighbors: Vec::new(),
-            weights: Vec::new(),
+            backing: Backing::Owned {
+                offsets: vec![0; num_nodes + 1],
+                neighbors: Vec::new(),
+                weights: Vec::new(),
+            },
         }
+    }
+
+    /// The raw CSR triple `(offsets, neighbors, weights)`, whichever
+    /// backing holds it.
+    #[inline]
+    fn parts(&self) -> (&[u64], &[u32], &[f32]) {
+        match &self.backing {
+            Backing::Owned { offsets, neighbors, weights } => (offsets, neighbors, weights),
+            Backing::Mapped(m) => (m.offsets(), m.neighbors(), m.weights()),
+        }
+    }
+
+    /// Row bounds of node `v` as `start..end` into the edge arrays.
+    #[inline]
+    fn row(&self, v: NodeId) -> std::ops::Range<usize> {
+        let offsets = self.parts().0;
+        offsets[v.index()] as usize..offsets[v.index() + 1] as usize
     }
 
     /// Number of nodes in the ground set.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.offsets.len() - 1
+        self.parts().0.len() - 1
     }
 
     /// Number of stored directed edges.
     #[inline]
     pub fn num_directed_edges(&self) -> usize {
-        self.neighbors.len()
+        self.parts().1.len()
     }
 
     /// Number of undirected edges in a symmetric graph (directed count / 2).
@@ -62,7 +121,7 @@ impl SimilarityGraph {
     /// Only meaningful when [`Self::is_symmetric`] holds.
     #[inline]
     pub fn num_undirected_edges(&self) -> usize {
-        self.neighbors.len() / 2
+        self.num_directed_edges() / 2
     }
 
     /// Out-degree of node `v`.
@@ -72,25 +131,30 @@ impl SimilarityGraph {
     /// Panics if `v` is out of bounds.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.offsets[v.index() + 1] - self.offsets[v.index()]
+        self.row(v).len()
     }
 
-    /// Neighbor ids of node `v`, sorted ascending.
+    /// Dense neighbor ids of node `v`, sorted ascending.
     #[inline]
-    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
-        &self.neighbors[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        let r = self.row(v);
+        &self.parts().1[r]
     }
 
     /// Similarity weights aligned with [`Self::neighbors`].
     #[inline]
     pub fn weights(&self, v: NodeId) -> &[f32] {
-        &self.weights[self.offsets[v.index()]..self.offsets[v.index() + 1]]
+        let r = self.row(v);
+        &self.parts().2[r]
     }
 
     /// Iterates `(neighbor, similarity)` pairs of node `v`.
     #[inline]
     pub fn edges(&self, v: NodeId) -> impl Iterator<Item = (NodeId, f32)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .map(|&w| NodeId::new(u64::from(w)))
+            .zip(self.weights(v).iter().copied())
     }
 
     /// Sum of similarity weights incident to `v` (its *weighted degree*).
@@ -127,7 +191,7 @@ impl SimilarityGraph {
     pub fn weight_range(&self) -> Option<(f32, f32)> {
         let mut min = f32::INFINITY;
         let mut max = f32::NEG_INFINITY;
-        for &w in &self.weights {
+        for &w in self.parts().2 {
             if w > 0.0 {
                 min = min.min(w);
                 max = max.max(w);
@@ -138,8 +202,9 @@ impl SimilarityGraph {
 
     /// Returns the weight of edge `(v, w)` if present.
     pub fn edge_weight(&self, v: NodeId, w: NodeId) -> Option<f32> {
+        let target = u32::try_from(w.raw()).ok()?;
         let nbrs = self.neighbors(v);
-        nbrs.binary_search(&w).ok().map(|pos| self.weights(v)[pos])
+        nbrs.binary_search(&target).ok().map(|pos| self.weights(v)[pos])
     }
 
     /// Returns `true` if every edge `(v, w)` has a matching `(w, v)` with the
@@ -177,68 +242,122 @@ impl SimilarityGraph {
     }
 
     /// Exposes the raw CSR arrays `(offsets, neighbors, weights)` for
-    /// serialization (e.g. the k-NN graph disk cache).
-    pub fn csr_parts(&self) -> (&[usize], &[NodeId], &[f32]) {
-        (&self.offsets, &self.neighbors, &self.weights)
+    /// serialization. Offsets are `u64` file offsets and neighbors dense
+    /// `u32` ids — exactly the on-disk store section types, whichever
+    /// backing currently holds them.
+    pub fn csr_parts(&self) -> (&[u64], &[u32], &[f32]) {
+        self.parts()
     }
 
-    /// Rebuilds a graph from raw CSR arrays produced by
+    /// Rebuilds an owned graph from raw CSR arrays produced by
     /// [`Self::csr_parts`].
     ///
     /// # Errors
     ///
-    /// Returns an error if the arrays are inconsistent (offsets not
-    /// monotone or out of range, mismatched lengths, self-loops, invalid
-    /// weights, or unsorted neighbor lists).
+    /// Returns a [`GraphError`] if the arrays violate any CSR invariant
+    /// (offsets not monotone or out of range, mismatched lengths,
+    /// self-loops, invalid weights, or unsorted neighbor rows) — the same
+    /// validation a store file passes at open.
     pub fn from_csr_parts(
-        offsets: Vec<usize>,
-        neighbors: Vec<NodeId>,
+        offsets: Vec<u64>,
+        neighbors: Vec<u32>,
         weights: Vec<f32>,
-    ) -> Result<Self, CoreError> {
-        if offsets.is_empty() || *offsets.last().expect("non-empty") != neighbors.len() {
-            return Err(CoreError::EmptyParameter { name: "offsets" });
+    ) -> Result<Self, GraphError> {
+        if offsets.is_empty() {
+            return Err(GraphError::NonMonotoneOffsets { node: 0 });
         }
-        if neighbors.len() != weights.len() {
-            return Err(CoreError::UtilityLengthMismatch {
-                utilities: weights.len(),
-                num_nodes: neighbors.len(),
-            });
-        }
-        let num_nodes = offsets.len() - 1;
-        for pair in offsets.windows(2) {
-            if pair[1] < pair[0] {
-                return Err(CoreError::EmptyParameter { name: "offsets" });
-            }
-        }
-        for v in 0..num_nodes {
-            let row = &neighbors[offsets[v]..offsets[v + 1]];
-            for pair in row.windows(2) {
-                if pair[1] <= pair[0] {
-                    return Err(CoreError::SelfLoop { node: pair[1].raw() });
-                }
-            }
-            for &w in row {
-                if w.index() >= num_nodes {
-                    return Err(CoreError::NodeOutOfBounds { node: w.raw(), num_nodes });
-                }
-                if w.index() == v {
-                    return Err(CoreError::SelfLoop { node: w.raw() });
-                }
-            }
-        }
-        for &w in &weights {
-            if !(w.is_finite() && w >= 0.0) {
-                return Err(CoreError::InvalidWeight { weight: w });
-            }
-        }
-        Ok(SimilarityGraph { offsets, neighbors, weights })
+        store::validate_csr(&offsets, &neighbors, &weights)?;
+        Ok(SimilarityGraph { backing: Backing::Owned { offsets, neighbors, weights } })
     }
 
-    /// Approximate resident memory of the CSR arrays in bytes.
+    /// Logical size of the CSR arrays in bytes, independent of backing.
+    ///
+    /// For an owned graph this is heap memory; for a mapped graph it is
+    /// the page-cache footprint if every page were resident (the "graph
+    /// bytes" the larger-than-memory experiment compares RSS against).
     pub fn memory_bytes(&self) -> usize {
-        self.offsets.len() * size_of::<usize>()
-            + self.neighbors.len() * size_of::<NodeId>()
-            + self.weights.len() * size_of::<f32>()
+        let (offsets, neighbors, weights) = self.parts();
+        std::mem::size_of_val(offsets)
+            + std::mem::size_of_val(neighbors)
+            + std::mem::size_of_val(weights)
+    }
+
+    /// Process-heap bytes held by this graph: [`Self::memory_bytes`] when
+    /// owned, 0 when the arrays live in a read-only file mapping.
+    pub fn heap_bytes(&self) -> usize {
+        match &self.backing {
+            Backing::Owned { .. } => self.memory_bytes(),
+            Backing::Mapped(_) => 0,
+        }
+    }
+
+    /// `true` when the CSR arrays are backed by a read-only store mapping.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.backing, Backing::Mapped(_))
+    }
+
+    /// Writes this graph as an on-disk store file (see [`crate::store`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] on I/O failure.
+    pub fn write_store(&self, path: &Path) -> Result<(), GraphError> {
+        let (offsets, neighbors, weights) = self.parts();
+        store::write_store(path, offsets, neighbors, weights, self.is_symmetric(), None)
+    }
+
+    /// Writes this graph plus a per-node utility vector as one store file
+    /// (the k-NN disk cache bundles both).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] on I/O failure, a utility count mismatch,
+    /// or a non-finite utility.
+    pub fn write_store_with_utilities(
+        &self,
+        path: &Path,
+        utilities: &[f32],
+    ) -> Result<(), GraphError> {
+        let (offsets, neighbors, weights) = self.parts();
+        store::write_store(path, offsets, neighbors, weights, self.is_symmetric(), Some(utilities))
+    }
+
+    /// Opens a store file as a read-only memory-mapped graph.
+    ///
+    /// Zero-copy: the CSR arrays are served straight from the mapping
+    /// after a full validation sweep. A utilities section, if present, is
+    /// ignored — use [`Self::open_store_with_utilities`] to read it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`GraphError`] for every malformed-file mode:
+    /// truncation, wrong magic/version, checksum mismatch, non-monotone or
+    /// out-of-bounds offsets, out-of-bounds/unsorted/self-loop neighbor
+    /// rows, and NaN/infinite/negative weights. Never panics on bad input.
+    pub fn open_store(path: &Path) -> Result<Self, GraphError> {
+        let (mapped, _utilities) = store::open_store(path)?;
+        Ok(SimilarityGraph { backing: Backing::Mapped(Arc::new(mapped)) })
+    }
+
+    /// Opens a store file written with utilities, returning both.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::open_store`], plus [`GraphError::MissingUtilities`]
+    /// if the file has no utilities section.
+    pub fn open_store_with_utilities(path: &Path) -> Result<(Self, Vec<f32>), GraphError> {
+        let (mapped, utilities) = store::open_store(path)?;
+        let utilities = utilities.ok_or(GraphError::MissingUtilities)?;
+        Ok((SimilarityGraph { backing: Backing::Mapped(Arc::new(mapped)) }, utilities))
+    }
+
+    /// Bytes of the backing store file for a mapped graph (header included),
+    /// or `None` for an owned graph.
+    pub fn store_file_bytes(&self) -> Option<usize> {
+        match &self.backing {
+            Backing::Owned { .. } => None,
+            Backing::Mapped(m) => Some(m.file_bytes()),
+        }
     }
 
     /// Builds the subgraph induced by `nodes`, relabeling to local dense
@@ -253,53 +372,65 @@ impl SimilarityGraph {
     pub fn induced_subgraph(&self, nodes: &[NodeId]) -> SimilarityGraph {
         let local: HashMap<NodeId, u32> =
             nodes.iter().enumerate().map(|(i, &id)| (id, i as u32)).collect();
-        let mut offsets = Vec::with_capacity(nodes.len() + 1);
-        let mut neighbors = Vec::new();
-        let mut weights = Vec::new();
+        let mut offsets: Vec<u64> = Vec::with_capacity(nodes.len() + 1);
+        let mut neighbors: Vec<u32> = Vec::new();
+        let mut weights: Vec<f32> = Vec::new();
         offsets.push(0);
         for &v in nodes {
             let start = neighbors.len();
             for (w, s) in self.edges(v) {
                 if let Some(&lw) = local.get(&w) {
-                    neighbors.push(NodeId::new(u64::from(lw)));
+                    neighbors.push(lw);
                     weights.push(s);
                 }
             }
             // Re-sort locally: global neighbor order does not imply local order.
-            let mut pairs: Vec<(NodeId, f32)> =
+            let mut pairs: Vec<(u32, f32)> =
                 neighbors[start..].iter().copied().zip(weights[start..].iter().copied()).collect();
             pairs.sort_by_key(|&(id, _)| id);
             for (slot, (id, s)) in pairs.into_iter().enumerate() {
                 neighbors[start + slot] = id;
                 weights[start + slot] = s;
             }
-            offsets.push(neighbors.len());
+            offsets.push(neighbors.len() as u64);
         }
-        SimilarityGraph { offsets, neighbors, weights }
+        SimilarityGraph { backing: Backing::Owned { offsets, neighbors, weights } }
     }
 
     fn from_directed_edges_internal(
         num_nodes: usize,
         mut edges: Vec<(NodeId, NodeId, f32)>,
     ) -> SimilarityGraph {
+        assert!(
+            num_nodes as u64 <= u64::from(u32::MAX),
+            "num_nodes {num_nodes} exceeds the u32 neighbor id space"
+        );
         edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)).then(b.2.total_cmp(&a.2)));
         // Deduplicate keeping the max weight (first after the sort above).
         edges.dedup_by_key(|e| (e.0, e.1));
 
-        let mut offsets = vec![0usize; num_nodes + 1];
+        let mut offsets = vec![0u64; num_nodes + 1];
         for &(v, _, _) in &edges {
             offsets[v.index() + 1] += 1;
         }
         for i in 0..num_nodes {
             offsets[i + 1] += offsets[i];
         }
-        let mut neighbors = Vec::with_capacity(edges.len());
-        let mut weights = Vec::with_capacity(edges.len());
+        let mut neighbors: Vec<u32> = Vec::with_capacity(edges.len());
+        let mut weights: Vec<f32> = Vec::with_capacity(edges.len());
         for (_, w, s) in edges {
-            neighbors.push(w);
+            neighbors.push(w.raw() as u32);
             weights.push(s);
         }
-        SimilarityGraph { offsets, neighbors, weights }
+        let graph = SimilarityGraph { backing: Backing::Owned { offsets, neighbors, weights } };
+        if store::force_mmap() {
+            // SUBMOD_GRAPH_STORE=mmap: route every built graph through a
+            // temporary on-disk store so the whole suite exercises the
+            // mapped backing.
+            store::reopen_via_temp_store(graph)
+        } else {
+            graph
+        }
     }
 }
 
@@ -330,7 +461,15 @@ pub struct GraphBuilder {
 
 impl GraphBuilder {
     /// Creates a builder for a graph over `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` exceeds the `u32` neighbor id space.
     pub fn new(num_nodes: usize) -> Self {
+        assert!(
+            num_nodes as u64 <= u64::from(u32::MAX),
+            "num_nodes {num_nodes} exceeds the u32 neighbor id space"
+        );
         GraphBuilder { num_nodes, edges: Vec::new() }
     }
 
@@ -395,6 +534,7 @@ impl GraphBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn diamond() -> SimilarityGraph {
         // 0-1, 1-2, 2-3, 3-0 ring plus a 0-2 chord.
@@ -407,14 +547,17 @@ mod tests {
         b.build()
     }
 
+    fn temp_store(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("submod-graph-test-{}-{name}.csr", std::process::id()))
+    }
+
     #[test]
     fn csr_layout_is_sorted_per_node() {
         let g = diamond();
         assert_eq!(g.num_nodes(), 4);
         assert_eq!(g.num_directed_edges(), 10);
         assert_eq!(g.num_undirected_edges(), 5);
-        let n0: Vec<u64> = g.neighbors(NodeId::new(0)).iter().map(|n| n.raw()).collect();
-        assert_eq!(n0, vec![1, 2, 3]);
+        assert_eq!(g.neighbors(NodeId::new(0)), &[1, 2, 3]);
         assert_eq!(g.weights(NodeId::new(0)), &[0.1, 0.5, 0.4]);
     }
 
@@ -536,27 +679,17 @@ mod tests {
     #[test]
     fn from_csr_parts_rejects_inconsistent_arrays() {
         // Wrong terminal offset.
-        assert!(
-            SimilarityGraph::from_csr_parts(vec![0, 2], vec![NodeId::new(1)], vec![0.5]).is_err()
-        );
+        assert!(SimilarityGraph::from_csr_parts(vec![0, 2], vec![1], vec![0.5]).is_err());
         // Self-loop.
-        assert!(
-            SimilarityGraph::from_csr_parts(vec![0, 1], vec![NodeId::new(0)], vec![0.5]).is_err()
-        );
+        assert!(SimilarityGraph::from_csr_parts(vec![0, 1], vec![0], vec![0.5]).is_err());
         // Out-of-bounds neighbor.
-        assert!(
-            SimilarityGraph::from_csr_parts(vec![0, 1], vec![NodeId::new(9)], vec![0.5]).is_err()
-        );
+        assert!(SimilarityGraph::from_csr_parts(vec![0, 1], vec![9], vec![0.5]).is_err());
         // Negative weight.
-        assert!(SimilarityGraph::from_csr_parts(vec![0, 1, 1], vec![NodeId::new(1)], vec![-0.5])
-            .is_err());
+        assert!(SimilarityGraph::from_csr_parts(vec![0, 1, 1], vec![1], vec![-0.5]).is_err());
         // Unsorted neighbor row.
-        assert!(SimilarityGraph::from_csr_parts(
-            vec![0, 2, 2, 2],
-            vec![NodeId::new(2), NodeId::new(1)],
-            vec![0.5, 0.5]
-        )
-        .is_err());
+        assert!(
+            SimilarityGraph::from_csr_parts(vec![0, 2, 2, 2], vec![2, 1], vec![0.5, 0.5]).is_err()
+        );
     }
 
     #[test]
@@ -564,5 +697,92 @@ mod tests {
         let g = diamond();
         assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(2)), Some(0.5));
         assert_eq!(g.edge_weight(NodeId::new(1), NodeId::new(3)), None);
+        // An id outside the u32 encoding can never be present.
+        assert_eq!(g.edge_weight(NodeId::new(0), NodeId::new(u64::MAX)), None);
+    }
+
+    #[test]
+    fn store_roundtrip_is_exact_and_mapped() {
+        // Under SUBMOD_GRAPH_STORE=mmap the builder output is itself
+        // mapped, so materialize an explicitly owned copy to cover both
+        // backings regardless of the knob.
+        let built = diamond();
+        let (o, n, w) = built.csr_parts();
+        let g = SimilarityGraph::from_csr_parts(o.to_vec(), n.to_vec(), w.to_vec()).unwrap();
+        let path = temp_store("roundtrip");
+        g.write_store(&path).unwrap();
+        let mapped = SimilarityGraph::open_store(&path).unwrap();
+        assert!(mapped.is_mapped());
+        assert!(!g.is_mapped());
+        assert_eq!(mapped, g);
+        assert_eq!(mapped.csr_parts(), g.csr_parts());
+        assert_eq!(mapped.heap_bytes(), 0);
+        assert_eq!(g.heap_bytes(), g.memory_bytes());
+        assert_eq!(mapped.memory_bytes(), g.memory_bytes());
+        assert!(mapped.store_file_bytes().unwrap() > mapped.memory_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_roundtrip_with_utilities() {
+        let g = diamond();
+        let utilities = vec![0.5, 1.5, 2.5, 3.5];
+        let path = temp_store("utilities");
+        g.write_store_with_utilities(&path, &utilities).unwrap();
+        let (mapped, read) = SimilarityGraph::open_store_with_utilities(&path).unwrap();
+        assert_eq!(mapped, g);
+        assert_eq!(read, utilities);
+        // The plain open ignores the utilities section.
+        assert_eq!(SimilarityGraph::open_store(&path).unwrap(), g);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_without_utilities_reports_missing() {
+        let g = diamond();
+        let path = temp_store("missing-utilities");
+        g.write_store(&path).unwrap();
+        assert_eq!(
+            SimilarityGraph::open_store_with_utilities(&path).unwrap_err(),
+            GraphError::MissingUtilities
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_rejects_mismatched_utilities() {
+        let g = diamond();
+        let path = temp_store("bad-utilities");
+        assert!(matches!(
+            g.write_store_with_utilities(&path, &[1.0]).unwrap_err(),
+            GraphError::UtilityCountMismatch { utilities: 1, num_nodes: 4 }
+        ));
+        assert!(matches!(
+            g.write_store_with_utilities(&path, &[1.0, f32::NAN, 0.0, 0.0]).unwrap_err(),
+            GraphError::InvalidUtility { node: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_graph_store_roundtrip() {
+        let g = SimilarityGraph::empty(3);
+        let path = temp_store("empty");
+        g.write_store(&path).unwrap();
+        let mapped = SimilarityGraph::open_store(&path).unwrap();
+        assert_eq!(mapped, g);
+        assert_eq!(mapped.num_directed_edges(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_graph_shares_one_mapping_across_clones() {
+        let g = diamond();
+        let path = temp_store("clones");
+        g.write_store(&path).unwrap();
+        let mapped = SimilarityGraph::open_store(&path).unwrap();
+        let clone = mapped.clone();
+        // Clones alias the same mapping: identical slices at identical addresses.
+        assert_eq!(mapped.csr_parts().1.as_ptr(), clone.csr_parts().1.as_ptr());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -6,6 +6,8 @@
 //!
 //! - [`SimilarityGraph`]: a compact CSR similarity graph over data points,
 //!   typically a symmetrized k-nearest-neighbor graph in embedding space.
+//!   Backed either by owned vectors or by a read-only `mmap` of an
+//!   on-disk [`store`] file, so the ground set can be larger than memory.
 //! - [`PairwiseObjective`]: the function class
 //!   `f(S) = α·Σ_{v∈S} u(v) − β·Σ_{{v,w}∈E, v,w∈S} s(v,w)` (paper §3),
 //!   including the monotonicity offset of Appendix A.
@@ -47,6 +49,7 @@ mod pq;
 mod selection;
 
 pub mod greedy;
+pub mod store;
 
 pub use error::CoreError;
 pub use graph::{GraphBuilder, SimilarityGraph};
@@ -60,3 +63,4 @@ pub use normalize::ScoreNormalizer;
 pub use objective::PairwiseObjective;
 pub use pq::AddressablePq;
 pub use selection::Selection;
+pub use store::GraphError;

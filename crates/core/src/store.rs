@@ -1,0 +1,602 @@
+//! The on-disk CSR graph store: a compact binary format plus a read-only
+//! `mmap` loader.
+//!
+//! The paper's headline claim is *larger-than-memory* selection; after the
+//! drivers went engine-resident the k-NN graph itself was the last
+//! process-resident piece. This module makes the ground set disk-resident:
+//! the symmetrized, parallel-edge-deduplicated CSR adjacency is written
+//! once and then memory-mapped read-only, so the OS pages rows in on
+//! demand, many concurrent selections share one immutable mapping, and the
+//! expensive graph build amortizes to zero across runs.
+//!
+//! # Binary layout (version 1, little-endian)
+//!
+//! ```text
+//! offset  size              field
+//! 0       8                 magic  b"SUBMCSR1"
+//! 8       4                 version (u32, = 1)
+//! 12      4                 flags   (u32: bit0 symmetric, bit1 has-utilities)
+//! 16      8                 num_nodes (u64)
+//! 24      8                 num_edges (u64, directed CSR entries)
+//! 32      8                 checksum  (u64, FNV-1a over every payload byte)
+//! 40      24                reserved (zero)
+//! 64      (n+1)·8           offsets   (u64 each, row v = [offsets[v], offsets[v+1]))
+//! …       e·4               neighbors (u32 dense node ids, sorted per row)
+//! …       e·4               weights   (f32, finite and non-negative)
+//! …       n·4               utilities (f32, only if bit1 of flags is set)
+//! ```
+//!
+//! Every section starts at a file offset aligned to its element size
+//! (the header is 64 bytes and `mmap` regions are page-aligned), so the
+//! loader reinterprets the mapping in place — *zero-copy* — after a single
+//! validation sweep. Validation is exhaustive and typed: a malformed store
+//! surfaces as a [`GraphError`], never as UB or a panic.
+
+use crate::graph::SimilarityGraph;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// First 8 bytes of every store file.
+pub const MAGIC: [u8; 8] = *b"SUBMCSR1";
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+/// Bytes of header before the offsets section.
+pub const HEADER_LEN: usize = 64;
+
+const FLAG_SYMMETRIC: u32 = 1;
+const FLAG_UTILITIES: u32 = 2;
+const KNOWN_FLAGS: u32 = FLAG_SYMMETRIC | FLAG_UTILITIES;
+
+/// Errors produced while writing, opening, or validating an on-disk graph
+/// store.
+///
+/// Every failure mode of the `mmap` path is a first-class variant: I/O,
+/// truncation, a foreign or future file, payload corruption, and each CSR
+/// invariant violation. `Io` keeps the rendered OS error so the enum stays
+/// `Clone + PartialEq` for tests.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An OS-level read/write/map failure.
+    Io {
+        /// What was being done.
+        context: &'static str,
+        /// Rendered underlying error.
+        detail: String,
+    },
+    /// The file is shorter (or longer) than the header-declared sections.
+    Truncated {
+        /// Byte length the header demands.
+        expected: u64,
+        /// Byte length actually on disk.
+        actual: u64,
+    },
+    /// The first 8 bytes were not [`MAGIC`].
+    BadMagic {
+        /// The bytes found instead.
+        found: [u8; 8],
+    },
+    /// The version field named a format this build does not read.
+    UnsupportedVersion {
+        /// The version found.
+        found: u32,
+    },
+    /// The flags field had bits this version does not define.
+    UnknownFlags {
+        /// The flags found.
+        found: u32,
+    },
+    /// A reserved header byte was non-zero (corruption, or a future field
+    /// this version cannot interpret).
+    ReservedNonZero {
+        /// File offset of the non-zero byte.
+        position: usize,
+    },
+    /// The payload bytes do not hash to the stored checksum (bit rot or a
+    /// partial write).
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        stored: u64,
+        /// Checksum of the bytes on disk.
+        computed: u64,
+    },
+    /// More nodes than the `u32` neighbor encoding can address.
+    TooManyNodes {
+        /// Node count in the header.
+        num_nodes: u64,
+    },
+    /// `offsets[v+1] < offsets[v]`.
+    NonMonotoneOffsets {
+        /// First node whose row start exceeds its row end.
+        node: usize,
+    },
+    /// An offset pointed past the edge arrays.
+    OffsetOutOfBounds {
+        /// Node whose offset overruns.
+        node: usize,
+        /// The offending offset value.
+        offset: u64,
+        /// Number of edge entries actually present.
+        num_edges: u64,
+    },
+    /// `offsets[num_nodes]` did not equal the header's edge count.
+    EdgeCountMismatch {
+        /// Terminal offset value.
+        offsets_end: u64,
+        /// Edge count the header declared.
+        num_edges: u64,
+    },
+    /// A neighbor id referenced a node outside `0..num_nodes`.
+    EdgeOutOfBounds {
+        /// Row containing the bad edge.
+        node: usize,
+        /// The out-of-range neighbor id.
+        neighbor: u32,
+        /// Number of nodes in the store.
+        num_nodes: usize,
+    },
+    /// A neighbor row was not strictly ascending (unsorted or duplicated).
+    UnsortedNeighbors {
+        /// Row that violates the order.
+        node: usize,
+    },
+    /// A row contained its own node id.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+    /// An edge weight was NaN, infinite, or negative.
+    InvalidWeight {
+        /// Row containing the bad weight.
+        node: usize,
+        /// The offending weight.
+        weight: f32,
+    },
+    /// A stored utility was NaN or infinite.
+    InvalidUtility {
+        /// Index of the bad utility.
+        node: usize,
+        /// The offending utility.
+        utility: f32,
+    },
+    /// Utilities were requested but the store was written without them.
+    MissingUtilities,
+    /// The number of utilities handed to the writer did not match the
+    /// graph's node count.
+    UtilityCountMismatch {
+        /// Utilities provided.
+        utilities: usize,
+        /// Nodes in the graph.
+        num_nodes: usize,
+    },
+    /// A section was not aligned for its element type. Unreachable for
+    /// files this crate writes (the layout is aligned by construction);
+    /// kept so a hand-crafted file still fails closed.
+    Misaligned {
+        /// Which section was misaligned.
+        section: &'static str,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::Io { context, detail } => {
+                write!(f, "i/o failure while {context}: {detail}")
+            }
+            GraphError::Truncated { expected, actual } => {
+                write!(f, "store file is {actual} bytes but the header demands {expected}")
+            }
+            GraphError::BadMagic { found } => {
+                write!(f, "not a graph store (magic {found:02x?})")
+            }
+            GraphError::UnsupportedVersion { found } => {
+                write!(f, "store version {found} is not supported (this build reads {VERSION})")
+            }
+            GraphError::UnknownFlags { found } => {
+                write!(f, "store flags {found:#x} contain bits this version does not define")
+            }
+            GraphError::ReservedNonZero { position } => {
+                write!(f, "reserved header byte at offset {position} is non-zero")
+            }
+            GraphError::ChecksumMismatch { stored, computed } => {
+                write!(f, "payload checksum {computed:#018x} does not match stored {stored:#018x}")
+            }
+            GraphError::TooManyNodes { num_nodes } => {
+                write!(f, "{num_nodes} nodes exceed the u32 neighbor id space")
+            }
+            GraphError::NonMonotoneOffsets { node } => {
+                write!(f, "offsets are not monotone at node {node}")
+            }
+            GraphError::OffsetOutOfBounds { node, offset, num_edges } => {
+                write!(f, "offset {offset} of node {node} exceeds the {num_edges} stored edges")
+            }
+            GraphError::EdgeCountMismatch { offsets_end, num_edges } => {
+                write!(f, "terminal offset {offsets_end} does not match edge count {num_edges}")
+            }
+            GraphError::EdgeOutOfBounds { node, neighbor, num_nodes } => {
+                write!(f, "node {node} lists neighbor {neighbor} outside 0..{num_nodes}")
+            }
+            GraphError::UnsortedNeighbors { node } => {
+                write!(f, "neighbor row of node {node} is not strictly ascending")
+            }
+            GraphError::SelfLoop { node } => write!(f, "node {node} lists itself as a neighbor"),
+            GraphError::InvalidWeight { node, weight } => {
+                write!(f, "weight {weight} of node {node} is not a finite non-negative number")
+            }
+            GraphError::InvalidUtility { node, utility } => {
+                write!(f, "utility {utility} of node {node} is not finite")
+            }
+            GraphError::MissingUtilities => {
+                write!(f, "store was written without a utilities section")
+            }
+            GraphError::UtilityCountMismatch { utilities, num_nodes } => {
+                write!(f, "{utilities} utilities provided for a graph of {num_nodes} nodes")
+            }
+            GraphError::Misaligned { section } => {
+                write!(f, "section `{section}` is not aligned for its element type")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl GraphError {
+    fn io(context: &'static str, err: std::io::Error) -> Self {
+        GraphError::Io { context, detail: err.to_string() }
+    }
+}
+
+/// FNV-1a 64-bit hash of the payload bytes (everything after the header).
+///
+/// Part of the format contract: corruption tests recompute it after
+/// altering a section so the alteration is judged by the *semantic*
+/// validator rather than caught here first.
+pub fn payload_checksum(payload: &[u8]) -> u64 {
+    let mut state = 0xCBF2_9CE4_8422_2325u64;
+    for &b in payload {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// Streaming FNV-1a accumulator for the writer (identical output to
+/// [`payload_checksum`] without materializing the payload).
+struct Checksum(u64);
+
+impl Checksum {
+    fn new() -> Self {
+        Checksum(0xCBF2_9CE4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+}
+
+/// Byte length a version-1 store with these counts must have, or `None`
+/// if the counts are so large the length overflows `u64` (only reachable
+/// from a corrupt header — no real file can be that long).
+fn expected_len(num_nodes: u64, num_edges: u64, has_utilities: bool) -> Option<u64> {
+    let offsets = num_nodes.checked_add(1)?.checked_mul(8)?;
+    let edges = num_edges.checked_mul(8)?;
+    let utilities = if has_utilities { num_nodes.checked_mul(4)? } else { 0 };
+    (HEADER_LEN as u64).checked_add(offsets)?.checked_add(edges)?.checked_add(utilities)
+}
+
+/// Writes a validated CSR triple (plus optional utilities) as a store file.
+///
+/// The caller guarantees the arrays already satisfy the CSR invariants
+/// (they come from a live [`SimilarityGraph`]); utilities are validated
+/// here because they enter from outside the graph.
+pub(crate) fn write_store(
+    path: &Path,
+    offsets: &[u64],
+    neighbors: &[u32],
+    weights: &[f32],
+    symmetric: bool,
+    utilities: Option<&[f32]>,
+) -> Result<(), GraphError> {
+    let num_nodes = offsets.len() - 1;
+    if num_nodes as u64 > u64::from(u32::MAX) {
+        return Err(GraphError::TooManyNodes { num_nodes: num_nodes as u64 });
+    }
+    if let Some(utilities) = utilities {
+        if utilities.len() != num_nodes {
+            return Err(GraphError::UtilityCountMismatch { utilities: utilities.len(), num_nodes });
+        }
+        for (node, &u) in utilities.iter().enumerate() {
+            if !u.is_finite() {
+                return Err(GraphError::InvalidUtility { node, utility: u });
+            }
+        }
+    }
+
+    // Pre-pass: checksum the payload exactly as it will be laid out.
+    let mut sum = Checksum::new();
+    for &o in offsets {
+        sum.update(&o.to_le_bytes());
+    }
+    for &n in neighbors {
+        sum.update(&n.to_le_bytes());
+    }
+    for &w in weights {
+        sum.update(&w.to_le_bytes());
+    }
+    if let Some(utilities) = utilities {
+        for &u in utilities {
+            sum.update(&u.to_le_bytes());
+        }
+    }
+
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| GraphError::io("creating the store directory", e))?;
+        }
+    }
+    let file = File::create(path).map_err(|e| GraphError::io("creating the store file", e))?;
+    let mut w = BufWriter::new(file);
+    let wr = |w: &mut BufWriter<File>, bytes: &[u8]| {
+        w.write_all(bytes).map_err(|e| GraphError::io("writing the store file", e))
+    };
+
+    let mut flags = 0u32;
+    if symmetric {
+        flags |= FLAG_SYMMETRIC;
+    }
+    if utilities.is_some() {
+        flags |= FLAG_UTILITIES;
+    }
+    wr(&mut w, &MAGIC)?;
+    wr(&mut w, &VERSION.to_le_bytes())?;
+    wr(&mut w, &flags.to_le_bytes())?;
+    wr(&mut w, &(num_nodes as u64).to_le_bytes())?;
+    wr(&mut w, &(neighbors.len() as u64).to_le_bytes())?;
+    wr(&mut w, &sum.0.to_le_bytes())?;
+    wr(&mut w, &[0u8; 24])?;
+    for &o in offsets {
+        wr(&mut w, &o.to_le_bytes())?;
+    }
+    for &n in neighbors {
+        wr(&mut w, &n.to_le_bytes())?;
+    }
+    for &x in weights {
+        wr(&mut w, &x.to_le_bytes())?;
+    }
+    if let Some(utilities) = utilities {
+        for &u in utilities {
+            wr(&mut w, &u.to_le_bytes())?;
+        }
+    }
+    w.flush().map_err(|e| GraphError::io("flushing the store file", e))?;
+    Ok(())
+}
+
+/// A validated read-only mapping of a store file.
+///
+/// The heavy lifting lives in [`submod_mman::CsrView`], which validated
+/// each section's bounds and alignment once at open and cached the typed
+/// slices — so these accessors are bare pointer/length loads that inline
+/// into the per-edge graph-traversal loops above.
+#[derive(Debug)]
+pub(crate) struct MappedCsr {
+    view: submod_mman::CsrView,
+}
+
+impl MappedCsr {
+    /// The `(num_nodes + 1)` row offsets.
+    #[inline]
+    pub(crate) fn offsets(&self) -> &[u64] {
+        self.view.offsets()
+    }
+
+    /// All neighbor ids, concatenated row-major.
+    #[inline]
+    pub(crate) fn neighbors(&self) -> &[u32] {
+        self.view.neighbors()
+    }
+
+    /// All edge weights, aligned with [`Self::neighbors`].
+    #[inline]
+    pub(crate) fn weights(&self) -> &[f32] {
+        self.view.weights()
+    }
+
+    /// Bytes of the backing file.
+    pub(crate) fn file_bytes(&self) -> usize {
+        self.view.file_len()
+    }
+}
+
+/// Opens and fully validates a store file.
+///
+/// Returns the mapped CSR sections plus the utilities (copied out — they
+/// are `O(nodes)`, dwarfed by the `O(edges)` arrays that stay mapped).
+pub(crate) fn open_store(path: &Path) -> Result<(MappedCsr, Option<Vec<f32>>), GraphError> {
+    let file = File::open(path).map_err(|e| GraphError::io("opening the store file", e))?;
+    let mmap = submod_mman::Mmap::map_readonly(&file)
+        .map_err(|e| GraphError::io("mapping the store file", e))?;
+    let bytes: &[u8] = &mmap;
+
+    if bytes.len() < HEADER_LEN {
+        return Err(GraphError::Truncated {
+            expected: HEADER_LEN as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let mut magic = [0u8; 8];
+    magic.copy_from_slice(&bytes[0..8]);
+    if magic != MAGIC {
+        return Err(GraphError::BadMagic { found: magic });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(GraphError::UnsupportedVersion { found: version });
+    }
+    let flags = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(GraphError::UnknownFlags { found: flags });
+    }
+    let num_nodes = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let num_edges = u64::from_le_bytes(bytes[24..32].try_into().expect("8 bytes"));
+    let stored_sum = u64::from_le_bytes(bytes[32..40].try_into().expect("8 bytes"));
+    if let Some(off) = bytes[40..HEADER_LEN].iter().position(|&b| b != 0) {
+        // The reserved region is outside the payload checksum, so it gets
+        // its own explicit zero check.
+        return Err(GraphError::ReservedNonZero { position: 40 + off });
+    }
+    if num_nodes > u64::from(u32::MAX) {
+        return Err(GraphError::TooManyNodes { num_nodes });
+    }
+    let has_utilities = flags & FLAG_UTILITIES != 0;
+    let expected = expected_len(num_nodes, num_edges, has_utilities)
+        .ok_or(GraphError::Truncated { expected: u64::MAX, actual: bytes.len() as u64 })?;
+    if bytes.len() as u64 != expected {
+        return Err(GraphError::Truncated { expected, actual: bytes.len() as u64 });
+    }
+
+    let computed = payload_checksum(&bytes[HEADER_LEN..]);
+    if computed != stored_sum {
+        return Err(GraphError::ChecksumMismatch { stored: stored_sum, computed });
+    }
+
+    let n = num_nodes as usize;
+    let e = num_edges as usize;
+    let offsets_range = HEADER_LEN..HEADER_LEN + (n + 1) * 8;
+    let neighbors_range = offsets_range.end..offsets_range.end + e * 4;
+    let weights_range = neighbors_range.end..neighbors_range.end + e * 4;
+    let utilities_range =
+        weights_range.end..weights_range.end + if has_utilities { n * 4 } else { 0 };
+
+    let offsets = submod_mman::u64_slice(&bytes[offsets_range.clone()])
+        .ok_or(GraphError::Misaligned { section: "offsets" })?;
+    let neighbors = submod_mman::u32_slice(&bytes[neighbors_range.clone()])
+        .ok_or(GraphError::Misaligned { section: "neighbors" })?;
+    let weights = submod_mman::f32_slice(&bytes[weights_range.clone()])
+        .ok_or(GraphError::Misaligned { section: "weights" })?;
+
+    validate_csr(offsets, neighbors, weights)?;
+
+    let utilities = if has_utilities {
+        let raw = submod_mman::f32_slice(&bytes[utilities_range])
+            .ok_or(GraphError::Misaligned { section: "utilities" })?;
+        for (node, &u) in raw.iter().enumerate() {
+            if !u.is_finite() {
+                return Err(GraphError::InvalidUtility { node, utility: u });
+            }
+        }
+        Some(raw.to_vec())
+    } else {
+        None
+    };
+
+    let view = submod_mman::CsrView::new(mmap, offsets_range, neighbors_range, weights_range)
+        .map_err(|section| GraphError::Misaligned { section })?;
+    Ok((MappedCsr { view }, utilities))
+}
+
+/// Checks every CSR invariant the rest of the workspace relies on:
+/// monotone in-bounds offsets, strictly ascending in-bounds neighbor rows
+/// without self-loops, and finite non-negative weights.
+///
+/// Shared by the store loader and [`SimilarityGraph::from_csr_parts`], so
+/// an on-disk row is held to exactly the standard an in-memory row is.
+pub(crate) fn validate_csr(
+    offsets: &[u64],
+    neighbors: &[u32],
+    weights: &[f32],
+) -> Result<(), GraphError> {
+    let num_nodes = offsets.len() - 1;
+    let num_edges = neighbors.len() as u64;
+    if num_nodes as u64 > u64::from(u32::MAX) {
+        return Err(GraphError::TooManyNodes { num_nodes: num_nodes as u64 });
+    }
+    if neighbors.len() != weights.len() {
+        return Err(GraphError::EdgeCountMismatch {
+            offsets_end: neighbors.len() as u64,
+            num_edges: weights.len() as u64,
+        });
+    }
+    if offsets[0] != 0 {
+        return Err(GraphError::NonMonotoneOffsets { node: 0 });
+    }
+    for v in 0..num_nodes {
+        if offsets[v + 1] < offsets[v] {
+            return Err(GraphError::NonMonotoneOffsets { node: v });
+        }
+        if offsets[v + 1] > num_edges {
+            return Err(GraphError::OffsetOutOfBounds {
+                node: v + 1,
+                offset: offsets[v + 1],
+                num_edges,
+            });
+        }
+    }
+    if offsets[num_nodes] != num_edges {
+        return Err(GraphError::EdgeCountMismatch { offsets_end: offsets[num_nodes], num_edges });
+    }
+    for v in 0..num_nodes {
+        let row = &neighbors[offsets[v] as usize..offsets[v + 1] as usize];
+        let mut prev: Option<u32> = None;
+        for &w in row {
+            if w as usize >= num_nodes {
+                return Err(GraphError::EdgeOutOfBounds { node: v, neighbor: w, num_nodes });
+            }
+            if w as usize == v {
+                return Err(GraphError::SelfLoop { node: v });
+            }
+            if let Some(p) = prev {
+                if w <= p {
+                    return Err(GraphError::UnsortedNeighbors { node: v });
+                }
+            }
+            prev = Some(w);
+        }
+    }
+    for (i, &w) in weights.iter().enumerate() {
+        if !(w.is_finite() && w >= 0.0) {
+            // Binary-search the owning row for a precise report.
+            let node = offsets.partition_point(|&o| o <= i as u64).saturating_sub(1);
+            return Err(GraphError::InvalidWeight { node, weight: w });
+        }
+    }
+    Ok(())
+}
+
+/// `true` when `SUBMOD_GRAPH_STORE=mmap` forces every built graph through
+/// a temporary on-disk store (the CI determinism knob). Read once per
+/// process, like the kernel dispatch override.
+pub(crate) fn force_mmap() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("SUBMOD_GRAPH_STORE").map(|v| v.eq_ignore_ascii_case("mmap")).unwrap_or(false)
+    })
+}
+
+/// Writes `graph` to a fresh temp file, reopens it memory-mapped, and
+/// unlinks the file (the mapping keeps it alive). Used by the
+/// `SUBMOD_GRAPH_STORE=mmap` forcing knob, so a failure here panics with
+/// context rather than silently falling back to the in-memory backing the
+/// knob exists to exclude.
+pub(crate) fn reopen_via_temp_store(graph: SimilarityGraph) -> SimilarityGraph {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "submod-forced-store-{}-{}.csr",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    graph.write_store(&path).expect("SUBMOD_GRAPH_STORE=mmap: writing the forced store failed");
+    let mapped = SimilarityGraph::open_store(&path)
+        .expect("SUBMOD_GRAPH_STORE=mmap: reopening the forced store failed");
+    let _ = std::fs::remove_file(&path);
+    mapped
+}

@@ -158,10 +158,13 @@ impl CoarseClassifier {
             .into_par_iter()
             .map(|i| {
                 let probs = self.predict_proba(data.embeddings().row(i));
+                assert!(probs.iter().all(|p| !p.is_nan()), "class probabilities must not be NaN");
+                // Total order plus reversed index tie-break: equal
+                // probabilities predict the smallest class id.
                 let pred = probs
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| a.1.total_cmp(b.1).then(b.0.cmp(&a.0)))
                     .map(|(c, _)| c as u32)
                     .unwrap_or(0);
                 usize::from(pred == data.labels()[i])

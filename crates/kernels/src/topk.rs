@@ -23,18 +23,34 @@ impl TopK {
         TopK { k, heap: Vec::with_capacity(k + 1) }
     }
 
+    /// `true` if `a` ranks strictly ahead of `b`: higher score, or equal
+    /// score with smaller id.
+    ///
+    /// This is the dataflow `argmax_prefers` contract verbatim — plain
+    /// `>`/`==` on the score so `-0.0` and `+0.0` tie and fall through to
+    /// the id, never `total_cmp` (which would rank them). Sound because
+    /// NaN is excluded at the [`Self::offer`] boundary; the old
+    /// `partial_cmp(..).unwrap_or(Equal)` silently treated a NaN offer as
+    /// a tie and corrupted the heap order instead.
+    fn better(a: (f32, u32), b: (f32, u32)) -> bool {
+        a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+    }
+
     /// `true` if `a` is worse than `b` (lower score, or equal score with
     /// larger id).
     fn worse(a: (f32, u32), b: (f32, u32)) -> bool {
-        match a.0.partial_cmp(&b.0).unwrap_or(Ordering::Equal) {
-            Ordering::Less => true,
-            Ordering::Greater => false,
-            Ordering::Equal => a.1 > b.1,
-        }
+        Self::better(b, a)
     }
 
     /// Offers one candidate; kept only if it beats the current worst.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `score` is NaN — the one input the pop-order contract
+    /// cannot rank (cf. `AddressablePq`, which asserts the same at its
+    /// boundary).
     pub fn offer(&mut self, id: u32, score: f32) {
+        assert!(!score.is_nan(), "scores offered to TopK must not be NaN");
         if self.k == 0 {
             return;
         }
@@ -72,11 +88,18 @@ impl TopK {
     }
 
     /// Drains into `(id, score)` pairs sorted by descending score, ties
-    /// toward the smaller index.
+    /// toward the smaller index — the same order [`Self::better`] ranks
+    /// by, so the heap and the final sort can never disagree.
     pub fn into_sorted(self) -> Vec<Scored> {
         let mut entries = self.heap;
-        entries.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0).unwrap_or(Ordering::Equal).then_with(|| a.1.cmp(&b.1))
+        entries.sort_by(|&a, &b| {
+            if Self::better(a, b) {
+                Ordering::Less
+            } else if Self::better(b, a) {
+                Ordering::Greater
+            } else {
+                Ordering::Equal
+            }
         });
         entries.into_iter().map(|(score, id)| (id, score)).collect()
     }

@@ -1,18 +1,22 @@
-//! Binary disk cache for similarity graphs.
+//! Disk cache for similarity graphs, backed by the on-disk CSR store.
 //!
 //! The experiment harness sweeps hundreds of `(partitions, rounds, α)`
 //! configurations over the *same* k-NN graph; rebuilding a 50 k-point exact
-//! graph each time would dominate the run. The cache persists the CSR
-//! arrays (plus the utility vector) in a versioned little-endian format
-//! keyed by an experiment-chosen name.
+//! graph each time would dominate the run. The cache persists the graph
+//! plus its aligned utility vector as one `submod_core::store` file keyed
+//! by an experiment-chosen name, and loads it back **memory-mapped**: a
+//! cache hit costs one validation sweep instead of a rebuild, the CSR
+//! arrays stay out of the process heap, and every shard of a distributed
+//! run shares the same read-only mapping.
+//!
+//! Files written by the pre-store cache format (magic `SUBMODG1`) fail
+//! validation with [`submod_core::GraphError::BadMagic`] and are rebuilt
+//! transparently by [`load_or_build`].
 
 use crate::KnnError;
-use std::fs::{self, File};
-use std::io::{BufReader, BufWriter, Read, Write};
+use std::fs;
 use std::path::{Path, PathBuf};
-use submod_core::{NodeId, SimilarityGraph};
-
-const MAGIC: &[u8; 8] = b"SUBMODG1";
+use submod_core::SimilarityGraph;
 
 /// Returns the default cache directory (`target/graph-cache` under the
 /// workspace, or the system temp dir as fallback).
@@ -25,99 +29,35 @@ pub fn default_cache_dir() -> PathBuf {
     }
 }
 
-/// Saves a graph and its aligned utility vector under `path`.
+/// Saves a graph and its aligned utility vector under `path` as a store
+/// file.
 ///
 /// # Errors
 ///
 /// Returns an error if the file cannot be written or the utilities do not
-/// align with the graph.
+/// align with the graph (count mismatch or non-finite values).
 pub fn save_graph(path: &Path, graph: &SimilarityGraph, utilities: &[f32]) -> Result<(), KnnError> {
-    if utilities.len() != graph.num_nodes() {
-        return Err(KnnError::Cache {
-            detail: format!(
-                "{} utilities for a graph of {} nodes",
-                utilities.len(),
-                graph.num_nodes()
-            ),
-        });
-    }
-    if let Some(parent) = path.parent() {
-        fs::create_dir_all(parent).map_err(|e| KnnError::io("creating cache directory", e))?;
-    }
-    let file = File::create(path).map_err(|e| KnnError::io("creating cache file", e))?;
-    let mut w = BufWriter::new(file);
-    let (offsets, neighbors, weights) = graph.csr_parts();
-
-    let write_u64 = |w: &mut BufWriter<File>, x: u64| {
-        w.write_all(&x.to_le_bytes()).map_err(|e| KnnError::io("writing cache", e))
-    };
-    w.write_all(MAGIC).map_err(|e| KnnError::io("writing cache magic", e))?;
-    write_u64(&mut w, graph.num_nodes() as u64)?;
-    write_u64(&mut w, neighbors.len() as u64)?;
-    for &o in offsets {
-        write_u64(&mut w, o as u64)?;
-    }
-    for &n in neighbors {
-        write_u64(&mut w, n.raw())?;
-    }
-    for &x in weights {
-        w.write_all(&x.to_le_bytes()).map_err(|e| KnnError::io("writing cache weights", e))?;
-    }
-    for &u in utilities {
-        w.write_all(&u.to_le_bytes()).map_err(|e| KnnError::io("writing cache utilities", e))?;
-    }
-    w.flush().map_err(|e| KnnError::io("flushing cache file", e))?;
+    graph.write_store_with_utilities(path, utilities)?;
     Ok(())
 }
 
-/// Loads a graph and utility vector previously written by [`save_graph`].
+/// Loads a graph and utility vector previously written by [`save_graph`],
+/// memory-mapping the CSR arrays.
 ///
 /// # Errors
 ///
-/// Returns an error if the file is missing, truncated, or fails CSR
-/// validation.
+/// Returns an error if the file is missing, truncated, corrupt, or fails
+/// CSR validation (see [`submod_core::GraphError`]).
 pub fn load_graph(path: &Path) -> Result<(SimilarityGraph, Vec<f32>), KnnError> {
-    let file = File::open(path).map_err(|e| KnnError::io("opening cache file", e))?;
-    let mut r = BufReader::new(file);
-
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic).map_err(|e| KnnError::io("reading cache magic", e))?;
-    if &magic != MAGIC {
-        return Err(KnnError::Cache { detail: "bad magic (not a graph cache file)".into() });
-    }
-    let read_u64 = |r: &mut BufReader<File>| -> Result<u64, KnnError> {
-        let mut buf = [0u8; 8];
-        r.read_exact(&mut buf).map_err(|e| KnnError::io("reading cache", e))?;
-        Ok(u64::from_le_bytes(buf))
-    };
-    let num_nodes = read_u64(&mut r)? as usize;
-    let num_edges = read_u64(&mut r)? as usize;
-
-    let mut offsets = Vec::with_capacity(num_nodes + 1);
-    for _ in 0..=num_nodes {
-        offsets.push(read_u64(&mut r)? as usize);
-    }
-    let mut neighbors = Vec::with_capacity(num_edges);
-    for _ in 0..num_edges {
-        neighbors.push(NodeId::new(read_u64(&mut r)?));
-    }
-    let mut weights = Vec::with_capacity(num_edges);
-    let mut f32_buf = [0u8; 4];
-    for _ in 0..num_edges {
-        r.read_exact(&mut f32_buf).map_err(|e| KnnError::io("reading cache weights", e))?;
-        weights.push(f32::from_le_bytes(f32_buf));
-    }
-    let mut utilities = Vec::with_capacity(num_nodes);
-    for _ in 0..num_nodes {
-        r.read_exact(&mut f32_buf).map_err(|e| KnnError::io("reading cache utilities", e))?;
-        utilities.push(f32::from_le_bytes(f32_buf));
-    }
-
-    let graph = SimilarityGraph::from_csr_parts(offsets, neighbors, weights)?;
+    let (graph, utilities) = SimilarityGraph::open_store_with_utilities(path)?;
     Ok((graph, utilities))
 }
 
 /// Loads the cache at `path` or builds and saves it with `build`.
+///
+/// Both paths return the **mapped** graph: after a cache miss the freshly
+/// built graph is written to disk and reopened through the store, so a run
+/// behaves identically whether or not the cache already existed.
 ///
 /// # Errors
 ///
@@ -138,7 +78,7 @@ where
     }
     let (graph, utilities) = build()?;
     save_graph(path, &graph, &utilities)?;
-    Ok((graph, utilities))
+    load_graph(path)
 }
 
 #[cfg(test)]
@@ -166,6 +106,7 @@ mod tests {
         let (loaded_graph, loaded_utilities) = load_graph(&path).unwrap();
         assert_eq!(loaded_graph, graph);
         assert_eq!(loaded_utilities, utilities);
+        assert!(loaded_graph.is_mapped(), "cache hits must be zero-copy mapped");
         let _ = fs::remove_file(&path);
     }
 
@@ -181,6 +122,24 @@ mod tests {
         let path = temp_path("corrupt.bin");
         fs::write(&path, b"definitely not a graph").unwrap();
         assert!(load_graph(&path).is_err());
+        let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pre_store_cache_format_is_rejected() {
+        // The old cache format started with SUBMODG1; it must surface as a
+        // typed store error (and therefore be rebuilt by load_or_build).
+        let path = temp_path("old-format.bin");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"SUBMODG1");
+        bytes.extend_from_slice(&[0u8; 64]);
+        fs::write(&path, &bytes).unwrap();
+        match load_graph(&path) {
+            Err(KnnError::Store(submod_core::GraphError::BadMagic { found })) => {
+                assert_eq!(&found, b"SUBMODG1");
+            }
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
         let _ = fs::remove_file(&path);
     }
 
@@ -201,6 +160,7 @@ mod tests {
         .unwrap();
         assert_eq!(builds, 1, "second call must hit the cache");
         assert_eq!(g1, g2);
+        assert!(g1.is_mapped() && g2.is_mapped(), "both paths must return the mapped graph");
         let _ = fs::remove_file(&path);
     }
 

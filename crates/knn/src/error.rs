@@ -30,6 +30,9 @@ pub enum KnnError {
     },
     /// Graph assembly failed in the core layer.
     Graph(submod_core::CoreError),
+    /// The on-disk graph store rejected a cache file (corrupt, foreign, or
+    /// truncated) or failed to write one.
+    Store(submod_core::GraphError),
     /// An I/O failure while reading or writing a cache file.
     Io {
         /// What was being done.
@@ -37,12 +40,6 @@ pub enum KnnError {
         /// Underlying error (shared to stay `Clone`).
         source: Arc<std::io::Error>,
     },
-}
-
-impl KnnError {
-    pub(crate) fn io(context: &'static str, source: std::io::Error) -> Self {
-        KnnError::Io { context, source: Arc::new(source) }
-    }
 }
 
 impl fmt::Display for KnnError {
@@ -59,6 +56,7 @@ impl fmt::Display for KnnError {
             }
             KnnError::Cache { detail } => write!(f, "graph cache failure: {detail}"),
             KnnError::Graph(inner) => write!(f, "graph assembly failure: {inner}"),
+            KnnError::Store(inner) => write!(f, "graph store failure: {inner}"),
             KnnError::Io { context, source } => {
                 write!(f, "i/o failure while {context}: {source}")
             }
@@ -70,6 +68,7 @@ impl Error for KnnError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             KnnError::Graph(inner) => Some(inner),
+            KnnError::Store(inner) => Some(inner),
             KnnError::Io { source, .. } => Some(source.as_ref()),
             _ => None,
         }
@@ -79,6 +78,12 @@ impl Error for KnnError {
 impl From<submod_core::CoreError> for KnnError {
     fn from(err: submod_core::CoreError) -> Self {
         KnnError::Graph(err)
+    }
+}
+
+impl From<submod_core::GraphError> for KnnError {
+    fn from(err: submod_core::GraphError) -> Self {
+        KnnError::Store(err)
     }
 }
 

@@ -67,6 +67,7 @@ impl KMeansModel {
     pub fn nearest_centroids(&self, query: &[f32], p: usize) -> Vec<u32> {
         assert_eq!(query.len(), self.centroids.dim(), "query dimension mismatch");
         let dots = submod_kernels::dot_scores(query, self.centroids.as_flat());
+        assert!(dots.iter().all(|d| !d.is_nan()), "centroid scores must not be NaN");
         let score = |c: usize| self.centroid_sq_norms[c] - 2.0 * dots[c];
         if p <= 1 {
             // Argmin with strict `<`: the first minimum (smallest index)
@@ -81,7 +82,10 @@ impl KMeansModel {
             return vec![best.0 as u32];
         }
         let mut scored: Vec<(f32, u32)> = (0..dots.len()).map(|c| (score(c), c as u32)).collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        // Workspace convention (cf. dist::bounding): total order on the
+        // score with an explicit index tie-break, so equal distances rank
+        // deterministically by centroid id.
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         scored.into_iter().take(p).map(|(_, c)| c).collect()
     }
 }
@@ -184,6 +188,10 @@ pub fn kmeans(
             .into_par_iter()
             .map(|i| submod_kernels::l2_argmin(data.row(i), &centroids))
             .collect();
+        assert!(
+            new_assignments.iter().all(|&(_, d)| !d.is_nan()),
+            "assignment distances must not be NaN"
+        );
         let new_inertia: f64 = new_assignments.iter().map(|&(_, d)| f64::from(d)).sum();
         for (i, &(c, _)) in new_assignments.iter().enumerate() {
             assignments[i] = c;
@@ -202,11 +210,14 @@ pub fn kmeans(
         }
         for c in 0..k {
             if counts[c] == 0 {
-                // Re-seed an empty cluster with the worst-fit point.
+                // Re-seed an empty cluster with the worst-fit point. Total
+                // order plus reversed index tie-break: among equally bad
+                // points the smallest index compares greatest, so it wins
+                // deterministically.
                 let worst = new_assignments
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+                    .max_by(|a, b| a.1 .1.total_cmp(&b.1 .1).then(b.0.cmp(&a.0)))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
                 centroids[c * dim..(c + 1) * dim].copy_from_slice(data.row(worst));

@@ -247,7 +247,9 @@ fn graph_memory_estimate_tracks_the_papers_arithmetic() {
     let bytes = instance.graph.memory_bytes();
     let n = instance.graph.num_nodes();
     let e = instance.graph.num_directed_edges();
-    // CSR: 8 bytes per offset + 8 per neighbor id + 4 per weight.
-    let expected = (n + 1) * 8 + e * 8 + e * 4;
+    // CSR: 8 bytes per offset + 4 per dense u32 neighbor id + 4 per weight
+    // (the store format halved the neighbor encoding relative to the
+    // paper's 5 B-key arithmetic).
+    let expected = (n + 1) * 8 + e * 4 + e * 4;
     assert_eq!(bytes, expected);
 }
