@@ -4,12 +4,20 @@
 //!
 //! ```text
 //! cargo run -p submod-bench --bin bench-diff -- BASELINE CURRENT [--tolerance 0.20]
+//! cargo run -p submod-bench --bin bench-diff -- FILE --trace-overhead [--tolerance 0.03]
 //! ```
 //!
 //! Exit status 1 when any benchmark present in both files got slower by
 //! more than the tolerance (default +20 %). Entries that exist in only
 //! one file are listed but never fail the diff (benches come and go
 //! across PRs).
+//!
+//! `--trace-overhead` is the observability gate: instead of diffing two
+//! files, it compares `obs_overhead/selection_spans` and
+//! `obs_overhead/selection_full` against `obs_overhead/selection_off`
+//! *within one file* (all three run in one process on one runner, see
+//! `benches/obs_overhead.rs`) and fails when either tracing mode costs
+//! more than the tolerance over the off path.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -65,29 +73,64 @@ fn parse_baselines(content: &str) -> BTreeMap<String, Entry> {
     out
 }
 
+/// The `--trace-overhead` gate: `spans`/`full` vs `off` within one run.
+/// Returns `None` (exit 2) when the obs_overhead entries are missing.
+fn trace_overhead_gate(entries: &BTreeMap<String, Entry>, tolerance: f64) -> Option<bool> {
+    let get = |mode: &str| {
+        let key = format!("obs_overhead/selection_{mode}");
+        let entry = entries.get(&key);
+        if entry.is_none() {
+            eprintln!("error: `{key}` not found — run `cargo bench -p submod-bench` with CRITERION_OUTPUT_JSON set");
+        }
+        entry
+    };
+    let off = get("off")?;
+    let mut ok = true;
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  verdict (tolerance +{:.1} % over off)",
+        "trace mode",
+        "off ns",
+        "mode ns",
+        "ratio",
+        tolerance * 100.0
+    );
+    for mode in ["spans", "full"] {
+        let entry = get(mode)?;
+        let ratio = entry.mean_ns / off.mean_ns;
+        let verdict = if ratio > 1.0 + tolerance { "REGRESSION" } else { "ok" };
+        ok &= ratio <= 1.0 + tolerance;
+        println!(
+            "{:<45} {:>12.0} {:>12.0} {ratio:>8.3}x  {verdict}",
+            format!("obs_overhead/selection_{mode}"),
+            off.mean_ns,
+            entry.mean_ns
+        );
+    }
+    Some(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
-    let mut tolerance = 0.20f64;
+    let mut tolerance = None;
+    let mut trace_overhead = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
             i += 1;
             tolerance = match args.get(i).and_then(|s| s.parse().ok()) {
-                Some(t) => t,
+                Some(t) => Some(t),
                 None => {
                     eprintln!("error: --tolerance expects a number");
                     return ExitCode::from(2);
                 }
             };
+        } else if args[i] == "--trace-overhead" {
+            trace_overhead = true;
         } else {
             positional.push(args[i].clone());
         }
         i += 1;
-    }
-    if positional.len() != 2 {
-        eprintln!("usage: bench-diff BASELINE CURRENT [--tolerance 0.20]");
-        return ExitCode::from(2);
     }
 
     let read = |path: &str| -> String {
@@ -96,6 +139,31 @@ fn main() -> ExitCode {
             std::process::exit(2);
         })
     };
+
+    if trace_overhead {
+        if positional.len() != 1 {
+            eprintln!("usage: bench-diff FILE --trace-overhead [--tolerance 0.03]");
+            return ExitCode::from(2);
+        }
+        let tolerance = tolerance.unwrap_or(0.03);
+        return match trace_overhead_gate(&parse_baselines(&read(&positional[0])), tolerance) {
+            Some(true) => {
+                println!("\ntracing overhead within +{:.1} % of off", tolerance * 100.0);
+                ExitCode::SUCCESS
+            }
+            Some(false) => {
+                eprintln!("\nFAILED: tracing overhead beyond +{:.1} %", tolerance * 100.0);
+                ExitCode::FAILURE
+            }
+            None => ExitCode::from(2),
+        };
+    }
+
+    if positional.len() != 2 {
+        eprintln!("usage: bench-diff BASELINE CURRENT [--tolerance 0.20]");
+        return ExitCode::from(2);
+    }
+    let tolerance = tolerance.unwrap_or(0.20);
     let baseline = parse_baselines(&read(&positional[0]));
     let current = parse_baselines(&read(&positional[1]));
 
@@ -184,6 +252,33 @@ mod tests {
         assert_eq!(json_num(line, "mean_ns"), Some(12345.5));
         assert_eq!(json_num(line, "samples"), Some(3.0));
         assert_eq!(json_num(line, "missing"), None);
+    }
+
+    fn overhead_entries(off: f64, spans: f64, full: f64) -> BTreeMap<String, Entry> {
+        [("off", off), ("spans", spans), ("full", full)]
+            .into_iter()
+            .map(|(mode, mean_ns)| (format!("obs_overhead/selection_{mode}"), Entry { mean_ns }))
+            .collect()
+    }
+
+    #[test]
+    fn trace_overhead_gate_passes_within_tolerance() {
+        let entries = overhead_entries(1000.0, 1005.0, 1020.0);
+        assert_eq!(trace_overhead_gate(&entries, 0.03), Some(true));
+    }
+
+    #[test]
+    fn trace_overhead_gate_fails_beyond_tolerance() {
+        let entries = overhead_entries(1000.0, 1005.0, 1100.0);
+        assert_eq!(trace_overhead_gate(&entries, 0.03), Some(false));
+    }
+
+    #[test]
+    fn trace_overhead_gate_requires_all_modes() {
+        let mut entries = overhead_entries(1000.0, 1005.0, 1010.0);
+        entries.remove("obs_overhead/selection_full");
+        assert_eq!(trace_overhead_gate(&entries, 0.03), None);
+        assert_eq!(trace_overhead_gate(&BTreeMap::new(), 0.03), None);
     }
 
     /// Keys with the escapes criterion's `json_escape` writes must parse

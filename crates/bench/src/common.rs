@@ -104,50 +104,6 @@ impl BenchCtx {
     }
 }
 
-/// Current resident-set size from `/proc/self/status`, in KiB
-/// (`None` off Linux or if the field is missing).
-pub fn current_rss_kib() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    for line in status.lines() {
-        if let Some(rest) = line.strip_prefix("VmRSS:") {
-            return rest.trim().trim_end_matches(" kB").trim().parse().ok();
-        }
-    }
-    None
-}
-
-/// Tracks the peak RSS growth across a measured region: baseline at
-/// construction, [`RssMeter::sample`] after each unit of work, delta =
-/// peak − baseline. The graph store's open-time validation pages the
-/// whole file sequentially, so a meter started *after* the graph is
-/// opened charges none of the adjacency bytes to the measured region.
-#[derive(Clone, Copy, Debug)]
-pub struct RssMeter {
-    base_kib: Option<u64>,
-    peak_kib: u64,
-}
-
-impl RssMeter {
-    /// Starts measuring from the current RSS.
-    pub fn start() -> Self {
-        let base = current_rss_kib();
-        RssMeter { base_kib: base, peak_kib: base.unwrap_or(0) }
-    }
-
-    /// Folds the current RSS into the running peak.
-    pub fn sample(&mut self) {
-        if let Some(now) = current_rss_kib() {
-            self.peak_kib = self.peak_kib.max(now);
-        }
-    }
-
-    /// Peak RSS growth since [`RssMeter::start`], in KiB (`None` when
-    /// `/proc/self/status` is unavailable).
-    pub fn delta_kib(&self) -> Option<u64> {
-        self.base_kib.map(|base| self.peak_kib.saturating_sub(base))
-    }
-}
-
 /// Deterministic per-cell seed so experiments are reproducible without
 /// cells sharing RNG streams.
 pub fn cell_seed(partitions: usize, rounds: usize, alpha: f64, k: usize) -> u64 {

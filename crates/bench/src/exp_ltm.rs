@@ -4,24 +4,42 @@
 //! changes and (b) the engine trades memory for spill I/O exactly as a
 //! Beam runner would.
 //!
+//! Every memory figure here — driver bytes per pass/round, broadcast
+//! volume, steady-state RSS growth — is read back from the
+//! `submod_obs` metrics registry (`submod_obs::reset_metrics` before
+//! each measured run, `submod_obs::snapshot` after), so the printed
+//! tables are the same numbers any trace consumer sees.
+//!
 //! With `--graph-store mmap` the adjacency itself moves out of driver
 //! heap too: the graph is written to the on-disk CSR store once,
 //! reopened read-only memory-mapped, and the experiment reports the
 //! graph's bytes against the measured peak RSS growth of one
 //! steady-state selection pass (the budget sweeps double as warmup, so
 //! one-time thread/allocator costs are excluded). Open-time validation
-//! pages the whole file sequentially, so the meter — started after the
-//! store is opened — charges none of the adjacency to the selections.
+//! pages the whole file sequentially, so the RSS baseline — marked
+//! after the store is opened — charges none of the adjacency to the
+//! selections.
 
-use crate::common::{BenchCtx, GraphStoreMode, RssMeter};
+use crate::common::{BenchCtx, GraphStoreMode};
 use crate::output::{print_table, write_artifact};
 use std::time::Instant;
 use submod_core::{NodeId, SimilarityGraph};
 use submod_dataflow::{MemoryBudget, Pipeline};
 use submod_dist::{
-    bound_dataflow_with_stats, bound_in_memory_with_stats, distributed_greedy_dataflow_with_stats,
-    distributed_greedy_with_stats, BoundingConfig, DistGreedyConfig, SamplingStrategy,
+    bound_dataflow, bound_in_memory, distributed_greedy, distributed_greedy_dataflow,
+    BoundingConfig, DistGreedyConfig, SamplingStrategy,
 };
+use submod_obs::MetricsSnapshot;
+
+/// Reads a gauge out of a registry snapshot (0 when never set).
+fn gauge(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.gauges.get(name).copied().unwrap_or(0)
+}
+
+/// Reads a counter out of a registry snapshot (0 when never touched).
+fn counter(snap: &MetricsSnapshot, name: &str) -> u64 {
+    snap.counters.get(name).copied().unwrap_or(0)
+}
 
 /// Runs the budget sweep on the CIFAR-like dataset.
 pub fn ltm(ctx: &BenchCtx) {
@@ -46,11 +64,13 @@ pub fn ltm(ctx: &BenchCtx) {
     bounding_sweep(ctx, &instance, &graph);
     greedy_sweep(ctx, &instance, &graph);
 
-    let mut meter = RssMeter::start();
-    steady_state_pass(&instance, &graph, &mut meter);
+    let baseline_kib = submod_obs::mark_rss_baseline();
+    steady_state_pass(&instance, &graph);
+    let snap = submod_obs::snapshot();
+    let delta_kib =
+        baseline_kib.map(|base| gauge(&snap, "process.rss_peak_kib").saturating_sub(base));
 
     let graph_kib = (graph.memory_bytes() / 1024) as u64;
-    let delta_kib = meter.delta_kib();
     let delta_label = delta_kib.map_or_else(|| "n/a".to_string(), |d| format!("{d} KiB"));
     println!(
         "\ngraph bytes {} KiB vs steady-state selection-pass peak RSS growth {} \
@@ -82,26 +102,22 @@ pub fn ltm(ctx: &BenchCtx) {
 }
 
 /// One more full selection of each kind against a warm process: the
-/// RSS growth this adds is what the selections themselves cost in
-/// driver memory, graph backing included.
-fn steady_state_pass(
-    instance: &submod_data::SelectionInstance,
-    graph: &SimilarityGraph,
-    meter: &mut RssMeter,
-) {
+/// RSS growth this adds (tracked by the `process.rss_peak_kib` gauge
+/// relative to the marked baseline) is what the selections themselves
+/// cost in driver memory, graph backing included.
+fn steady_state_pass(instance: &submod_data::SelectionInstance, graph: &SimilarityGraph) {
     let objective = instance.objective(0.9).expect("objective");
     let n = instance.len();
     let k = n / 10;
     let config = BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 17).expect("config");
     let pipeline = Pipeline::new(8).expect("pipeline");
-    bound_dataflow_with_stats(&pipeline, graph, &objective, k, &config)
-        .expect("steady-state bounding");
-    meter.sample();
+    bound_dataflow(&pipeline, graph, &objective, k, &config).expect("steady-state bounding");
+    submod_obs::sample_rss();
     let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
     let greedy = DistGreedyConfig::new(8, 4).expect("config").seed(17).adaptive(true);
-    distributed_greedy_dataflow_with_stats(&pipeline, graph, &objective, &ground, k, &greedy)
+    distributed_greedy_dataflow(&pipeline, graph, &objective, &ground, k, &greedy)
         .expect("steady-state greedy");
-    meter.sample();
+    submod_obs::sample_rss();
 }
 
 /// The bounding half of the sweep.
@@ -115,8 +131,9 @@ fn bounding_sweep(
     let k = instance.len() / 10;
     let config = BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 17).expect("config");
 
-    let (reference, reference_stats) =
-        bound_in_memory_with_stats(graph, &objective, k, &config).expect("reference bounding");
+    submod_obs::reset_metrics();
+    let reference = bound_in_memory(graph, &objective, k, &config).expect("reference bounding");
+    let reference_snap = submod_obs::snapshot();
     println!(
         "reference (unbounded memory): included {}, excluded {}",
         reference.included.len(),
@@ -135,10 +152,12 @@ fn bounding_sweep(
         };
         let pipeline =
             Pipeline::builder().workers(8).memory_budget(budget).build().expect("pipeline");
+        submod_obs::reset_metrics();
         let start = Instant::now();
-        let (outcome, stats) = bound_dataflow_with_stats(&pipeline, graph, &objective, k, &config)
-            .expect("dataflow bounding");
+        let outcome =
+            bound_dataflow(&pipeline, graph, &objective, k, &config).expect("dataflow bounding");
         let secs = start.elapsed().as_secs_f64();
+        let snap = submod_obs::snapshot();
         let identical = outcome == reference;
         let metrics = pipeline.metrics();
         let label = if budget_kib == u64::MAX {
@@ -161,13 +180,15 @@ fn bounding_sweep(
             metrics.peak_worker_bytes / 1024
         ));
         if ctx.report_memory {
+            // Two status bitsets ride to the workers every pass.
+            let per_pass = counter(&snap, "dataflow.broadcast.bytes")
+                / counter(&snap, "bounding.passes").max(1);
             memory_rows.push(vec![
                 label,
-                format!("{} B", stats.peak_pass_bytes),
-                stats.peak_candidates.to_string(),
-                format!("{} B", stats.peak_state_bytes),
-                // Two status bitsets ride to the workers every pass.
-                format!("{} B", metrics.bytes_broadcast / (stats.passes as u64).max(1)),
+                format!("{} B", gauge(&snap, "bounding.peak_pass_bytes")),
+                gauge(&snap, "bounding.peak_candidates").to_string(),
+                format!("{} B", gauge(&snap, "bounding.peak_state_bytes")),
+                format!("{per_pass} B"),
             ]);
         }
         assert!(identical, "memory budget changed the bounding outcome");
@@ -181,7 +202,8 @@ fn bounding_sweep(
         println!(
             "\nreference in-memory driver: peak pass bytes {} (full bound table), \
              peak state bytes {}",
-            reference_stats.peak_pass_bytes, reference_stats.peak_state_bytes
+            gauge(&reference_snap, "bounding.peak_pass_bytes"),
+            gauge(&reference_snap, "bounding.peak_state_bytes")
         );
         print_table(
             "engine-resident driver memory: per-pass collections are candidates only",
@@ -194,8 +216,8 @@ fn bounding_sweep(
 
 /// The greedy half of the sweep: the engine-resident multi-round driver
 /// under shrinking budgets, identical to the in-memory reference at
-/// every budget, with `GreedyStats` proving the driver only ever
-/// collected winner rows.
+/// every budget, with the `greedy.*` registry gauges proving the driver
+/// only ever collected winner rows.
 fn greedy_sweep(
     ctx: &BenchCtx,
     instance: &submod_data::SelectionInstance,
@@ -208,9 +230,10 @@ fn greedy_sweep(
     let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
     let config = DistGreedyConfig::new(8, 4).expect("config").seed(17).adaptive(true);
 
-    let (reference, reference_stats) =
-        distributed_greedy_with_stats(graph, &objective, &ground, k, &config)
-            .expect("reference greedy");
+    submod_obs::reset_metrics();
+    let reference =
+        distributed_greedy(graph, &objective, &ground, k, &config).expect("reference greedy");
+    let reference_snap = submod_obs::snapshot();
 
     let mut rows = Vec::new();
     let mut memory_rows = Vec::new();
@@ -223,12 +246,12 @@ fn greedy_sweep(
         };
         let pipeline =
             Pipeline::builder().workers(8).memory_budget(budget).build().expect("pipeline");
+        submod_obs::reset_metrics();
         let start = Instant::now();
-        let (report, stats) = distributed_greedy_dataflow_with_stats(
-            &pipeline, graph, &objective, &ground, k, &config,
-        )
-        .expect("dataflow greedy");
+        let report = distributed_greedy_dataflow(&pipeline, graph, &objective, &ground, k, &config)
+            .expect("dataflow greedy");
         let secs = start.elapsed().as_secs_f64();
+        let snap = submod_obs::snapshot();
         let identical = report.selection.selected() == reference.selection.selected()
             && report.selection.objective_value().to_bits()
                 == reference.selection.objective_value().to_bits();
@@ -252,10 +275,10 @@ fn greedy_sweep(
         if ctx.report_memory {
             memory_rows.push(vec![
                 label,
-                format!("{} B", stats.peak_round_bytes),
-                stats.winners_collected.to_string(),
-                format!("{} B", stats.peak_state_bytes),
-                format!("{} B", stats.bytes_broadcast),
+                format!("{} B", gauge(&snap, "greedy.peak_round_bytes")),
+                counter(&snap, "greedy.winners_collected").to_string(),
+                format!("{} B", gauge(&snap, "greedy.peak_state_bytes")),
+                format!("{} B", gauge(&snap, "greedy.bytes_broadcast")),
             ]);
         }
         assert!(identical, "memory budget changed the greedy selection");
@@ -269,7 +292,8 @@ fn greedy_sweep(
         println!(
             "\nreference in-memory driver: peak round bytes {} (keyed pool + queues), \
              peak state bytes {}",
-            reference_stats.peak_round_bytes, reference_stats.peak_state_bytes
+            gauge(&reference_snap, "greedy.peak_round_bytes"),
+            gauge(&reference_snap, "greedy.peak_state_bytes")
         );
         print_table(
             "engine-resident greedy driver memory: per-round collections are winner rows only",

@@ -1,0 +1,216 @@
+//! `experiments profile`: one traced end-to-end pass over every major
+//! stage — k-NN build, bounding (both drivers), multi-round greedy
+//! (both drivers) — with `SUBMOD_TRACE=full` forced on. Exports the
+//! chrome-trace (`profile_trace.json`, loadable in Perfetto or
+//! `chrome://tracing`) and the flat metrics (`profile_metrics.json`),
+//! and regenerates the phase-breakdown markdown from the span stream:
+//! `scale1_profile.md` at `--scale 1.0`, `profile_scale<F>.md`
+//! otherwise.
+
+use crate::common::BenchCtx;
+use crate::output::{print_table, write_artifact};
+use std::collections::BTreeMap;
+use std::time::Instant;
+use submod_core::NodeId;
+use submod_data::DatasetConfig;
+use submod_dataflow::Pipeline;
+use submod_dist::{
+    bound_dataflow, bound_in_memory, distributed_greedy, distributed_greedy_dataflow,
+    BoundingConfig, DistGreedyConfig, SamplingStrategy,
+};
+use submod_knn::{build_knn_graph, KnnBackend};
+use submod_obs::{MetricsSnapshot, SpanEvent, TraceMode};
+
+/// Per-span-name rollup: occurrence count, total and max inclusive µs.
+type Rollup = BTreeMap<&'static str, (u64, u64, u64)>;
+
+/// Runs one named phase, folding the process RSS into the registry
+/// afterwards and recording the phase's wall clock.
+fn run_phase(phases: &mut Vec<(&'static str, f64)>, name: &'static str, f: impl FnOnce()) {
+    let start = Instant::now();
+    f();
+    submod_obs::sample_rss();
+    let secs = start.elapsed().as_secs_f64();
+    println!("  {name}: {secs:.2} s");
+    phases.push((name, secs));
+}
+
+/// Runs the traced end-to-end profile on the CIFAR-like dataset.
+pub fn profile(ctx: &BenchCtx) {
+    // Forced programmatically: a profile without spans is meaningless,
+    // and forcing it here keeps the subcommand self-contained.
+    submod_obs::set_mode(TraceMode::Full);
+
+    let config = DatasetConfig::cifar100_like().scaled(ctx.scale);
+    let instance = ctx.cifar();
+    let graph = ctx.bench_graph(&instance.graph, "profile");
+    let objective = instance.objective(0.9).expect("objective");
+    let n = instance.len();
+    let k = n / 10;
+    let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let bounding = BoundingConfig::approximate(0.3, SamplingStrategy::Uniform, 17).expect("config");
+    let greedy = DistGreedyConfig::new(8, 4).expect("config").seed(17).adaptive(true);
+    let pipeline = Pipeline::new(8).expect("pipeline");
+    let backend = KnnBackend::auto(n);
+
+    // Everything above (dataset generation, graph-cache hits, the
+    // store rebase) is setup; the measured phases start clean. The
+    // k-NN build below runs explicitly — never through the cache — so
+    // the trace always carries the `knn.build` subtree.
+    println!(
+        "profile: {n} points, {} undirected edges, tracing full",
+        graph.num_undirected_edges()
+    );
+    submod_obs::reset();
+    submod_obs::mark_rss_baseline();
+
+    let wall = Instant::now();
+    let mut phases: Vec<(&'static str, f64)> = Vec::new();
+    run_phase(&mut phases, "knn build", || {
+        build_knn_graph(&instance.embeddings, config.knn_k(), &backend, config.seed())
+            .map(drop)
+            .expect("knn build");
+    });
+    run_phase(&mut phases, "bounding (in-memory driver)", || {
+        bound_in_memory(&graph, &objective, k, &bounding).map(drop).expect("bounding");
+    });
+    run_phase(&mut phases, "bounding (dataflow driver)", || {
+        bound_dataflow(&pipeline, &graph, &objective, k, &bounding)
+            .map(drop)
+            .expect("dataflow bounding");
+    });
+    run_phase(&mut phases, "greedy (in-memory driver)", || {
+        distributed_greedy(&graph, &objective, &ground, k, &greedy).map(drop).expect("greedy");
+    });
+    run_phase(&mut phases, "greedy (dataflow driver)", || {
+        distributed_greedy_dataflow(&pipeline, &graph, &objective, &ground, k, &greedy)
+            .map(drop)
+            .expect("dataflow greedy");
+    });
+    let total_secs = wall.elapsed().as_secs_f64();
+
+    let events = submod_obs::take_spans();
+    assert!(
+        events.iter().any(|e| e.parent != 0),
+        "profile trace should contain nested spans (knn build / bounding passes / greedy rounds)"
+    );
+    let snap = submod_obs::snapshot();
+    let _ =
+        write_artifact(&ctx.out_dir, "profile_trace.json", &submod_obs::chrome_trace_json(&events));
+    let _ = write_artifact(&ctx.out_dir, "profile_metrics.json", &submod_obs::metrics_json(&snap));
+
+    let rollup = rollup_spans(&events);
+    let rows: Vec<Vec<String>> = rollup
+        .iter()
+        .map(|(name, (count, total_us, max_us))| {
+            vec![
+                name.to_string(),
+                count.to_string(),
+                format!("{:.1} ms", *total_us as f64 / 1000.0),
+                format!("{:.1} ms", *max_us as f64 / 1000.0),
+            ]
+        })
+        .collect();
+    print_table("span rollup (inclusive time)", &["span", "count", "total", "max"], &rows);
+
+    let md =
+        render_markdown(ctx, n, graph.num_undirected_edges(), total_secs, &phases, &rollup, &snap);
+    let md_name = if (ctx.scale - 1.0).abs() < 1e-9 {
+        "scale1_profile.md".to_string()
+    } else {
+        format!("profile_scale{}.md", ctx.scale)
+    };
+    let _ = write_artifact(&ctx.out_dir, &md_name, &md);
+}
+
+/// Aggregates the span stream per name.
+fn rollup_spans(events: &[SpanEvent]) -> Rollup {
+    let mut rollup = Rollup::new();
+    for e in events {
+        let entry = rollup.entry(e.name).or_insert((0, 0, 0));
+        entry.0 += 1;
+        entry.1 += e.dur_us;
+        entry.2 = entry.2.max(e.dur_us);
+    }
+    rollup
+}
+
+/// Renders the phase-breakdown markdown from the measured wall clocks,
+/// the span rollup, and the registry snapshot.
+fn render_markdown(
+    ctx: &BenchCtx,
+    n: usize,
+    edges: usize,
+    total_secs: f64,
+    phases: &[(&'static str, f64)],
+    rollup: &Rollup,
+    snap: &MetricsSnapshot,
+) -> String {
+    let store = match ctx.graph_store {
+        crate::common::GraphStoreMode::Mem => "mem",
+        crate::common::GraphStoreMode::Mmap => "mmap",
+    };
+    let mut md = format!(
+        "# `--scale {}` end-to-end profile\n\n\
+         Generated by `experiments profile --scale {}` from the `submod_obs`\n\
+         span stream. The chrome-trace itself is `profile_trace.json`\n\
+         (load it in [Perfetto](https://ui.perfetto.dev) or\n\
+         `chrome://tracing`); the flat metrics registry is\n\
+         `profile_metrics.json`. `SUBMOD_TRACE=full` is forced by the\n\
+         subcommand, so the trace nests k-NN search blocks under the\n\
+         build, bounding passes under `bound.run`, and greedy rounds\n\
+         under `greedy.run`, across worker-pool boundaries.\n\n\
+         **Instance:** {n} points × 64-d CIFAR-like, {edges} undirected\n\
+         edges, α = 0.9, k = n/10.\n\
+         **Runner:** {} worker thread(s), `{}` kernel dispatch, graph\n\
+         store `{store}`, 8 dataflow workers / 8 machines × 4 rounds.\n\n\
+         ## Phase wall-clock\n\n\
+         | Phase | Wall clock |\n|---|---|\n",
+        ctx.scale,
+        ctx.scale,
+        submod_exec::current_num_threads(),
+        submod_kernels::backend().name(),
+    );
+    for (name, secs) in phases {
+        md.push_str(&format!("| {name} | {secs:.2} s |\n"));
+    }
+    md.push_str(&format!("| **total** | **{total_secs:.2} s** |\n"));
+
+    md.push_str(
+        "\n## Span rollup (inclusive time)\n\n| Span | Count | Total | Max |\n|---|---|---|---|\n",
+    );
+    for (name, (count, total_us, max_us)) in rollup {
+        md.push_str(&format!(
+            "| `{name}` | {count} | {:.1} ms | {:.1} ms |\n",
+            *total_us as f64 / 1000.0,
+            *max_us as f64 / 1000.0,
+        ));
+    }
+
+    md.push_str("\n## Registry highlights\n\n| Metric | Value |\n|---|---|\n");
+    let highlights = [
+        "knn.build.points",
+        "knn.search.blocks",
+        "kernels.batch_top_k.calls",
+        "kernels.batch_top_k.row_scans",
+        "bounding.passes",
+        "bounding.peak_pass_bytes",
+        "greedy.rounds",
+        "greedy.steps",
+        "greedy.winners_collected",
+        "dataflow.records_shuffled",
+        "dataflow.spill.bytes_written",
+        "dataflow.broadcast.bytes",
+        "exec.steals",
+        "exec.parks",
+        "process.rss_baseline_kib",
+        "process.rss_peak_kib",
+    ];
+    for name in highlights {
+        let value = snap.counters.get(name).or_else(|| snap.gauges.get(name));
+        if let Some(v) = value {
+            md.push_str(&format!("| `{name}` | {v} |\n"));
+        }
+    }
+    md
+}

@@ -20,6 +20,9 @@
 //!   baselines GreeDi / RandGreeDi memory-vs-quality comparison
 //!   theory    Theorem 4.6 guarantee vs empirical quality
 //!   ltm       larger-than-memory budget sweep (outcome invariance)
+//!   profile   traced end-to-end pass (forces SUBMOD_TRACE=full, writes
+//!             profile_trace.json + the phase-breakdown markdown;
+//!             --scale 1.0 regenerates scale1_profile.md)
 //!   all       everything above
 //!
 //! options:
@@ -41,6 +44,11 @@
 //!                zero driver heap, selections are bitwise-identical,
 //!                and `ltm` reports graph bytes vs the measured peak
 //!                RSS growth of the selection phase
+//!
+//! With `SUBMOD_TRACE=spans` or `=full` (see the README's
+//! Observability section) every experiment exports a chrome-trace to
+//! `OUT/trace.json` and the metrics registry to `OUT/metrics.json` on
+//! exit.
 //! ```
 
 mod common;
@@ -49,6 +57,7 @@ mod exp_bounding;
 mod exp_delta;
 mod exp_heatmaps;
 mod exp_ltm;
+mod exp_profile;
 mod exp_runtime;
 mod exp_visual;
 mod exp_walkthrough;
@@ -115,6 +124,28 @@ fn main() {
     let start = Instant::now();
     run(&experiment, &ctx);
     println!("\ntotal experiment time: {:.1?}", start.elapsed());
+
+    // `profile` exports (and drains) its own trace; every other
+    // experiment gets an end-of-run export when tracing is on, so
+    // `SUBMOD_TRACE=full experiments ltm` drops a Perfetto-loadable
+    // trace next to its CSV artifacts.
+    if experiment != "profile" && submod_obs::mode() != submod_obs::TraceMode::Off {
+        let _ = std::fs::create_dir_all(&ctx.out_dir);
+        let trace_path = ctx.out_dir.join("trace.json");
+        match submod_obs::write_chrome_trace(&trace_path) {
+            Ok(events) => println!(
+                "wrote {} ({} spans; load in Perfetto or chrome://tracing)",
+                trace_path.display(),
+                events.len()
+            ),
+            Err(e) => eprintln!("trace export failed: {e}"),
+        }
+        let metrics_path = ctx.out_dir.join("metrics.json");
+        let snap = submod_obs::snapshot();
+        if std::fs::write(&metrics_path, submod_obs::metrics_json(&snap)).is_ok() {
+            println!("wrote {}", metrics_path.display());
+        }
+    }
 }
 
 fn run(experiment: &str, ctx: &BenchCtx) {
@@ -137,6 +168,7 @@ fn run(experiment: &str, ctx: &BenchCtx) {
         "baselines" | "table1" => exp_baseline::baselines(ctx),
         "theory" => exp_bounding::theory(ctx),
         "ltm" => exp_ltm::ltm(ctx),
+        "profile" => exp_profile::profile(ctx),
         "all" => {
             for exp in [
                 "fig1",
@@ -166,7 +198,7 @@ fn run(experiment: &str, ctx: &BenchCtx) {
 
 fn print_usage() {
     println!(
-        "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|all> \
+        "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|profile|all> \
          [--scale F] [--out DIR] [--quick] [--threads N] [--report-memory] \
          [--graph-store mem|mmap]"
     );

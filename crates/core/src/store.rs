@@ -305,6 +305,7 @@ pub(crate) fn write_store(
     symmetric: bool,
     utilities: Option<&[f32]>,
 ) -> Result<(), GraphError> {
+    let _span = submod_obs::span_full("store.write");
     let num_nodes = offsets.len() - 1;
     if num_nodes as u64 > u64::from(u32::MAX) {
         return Err(GraphError::TooManyNodes { num_nodes: num_nodes as u64 });
@@ -378,6 +379,12 @@ pub(crate) fn write_store(
         }
     }
     w.flush().map_err(|e| GraphError::io("flushing the store file", e))?;
+    let payload = std::mem::size_of_val(offsets)
+        + std::mem::size_of_val(neighbors)
+        + std::mem::size_of_val(weights)
+        + utilities.map_or(0, std::mem::size_of_val);
+    submod_obs::counter!("store.writes").incr();
+    submod_obs::counter!("store.written_bytes").add((HEADER_LEN + payload) as u64);
     Ok(())
 }
 
@@ -422,10 +429,13 @@ impl MappedCsr {
 /// Returns the mapped CSR sections plus the utilities (copied out — they
 /// are `O(nodes)`, dwarfed by the `O(edges)` arrays that stay mapped).
 pub(crate) fn open_store(path: &Path) -> Result<(MappedCsr, Option<Vec<f32>>), GraphError> {
+    let _span = submod_obs::span_full("store.open");
     let file = File::open(path).map_err(|e| GraphError::io("opening the store file", e))?;
     let mmap = submod_mman::Mmap::map_readonly(&file)
         .map_err(|e| GraphError::io("mapping the store file", e))?;
     let bytes: &[u8] = &mmap;
+    submod_obs::counter!("store.opens").incr();
+    submod_obs::counter!("store.mapped_bytes").add(bytes.len() as u64);
 
     if bytes.len() < HEADER_LEN {
         return Err(GraphError::Truncated {

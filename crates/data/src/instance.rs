@@ -62,6 +62,7 @@ impl SelectionInstance {
 /// # }
 /// ```
 pub fn build_instance(config: &DatasetConfig) -> Result<SelectionInstance, DataError> {
+    let _span = submod_obs::span("data.build_instance");
     let dataset = ClusteredDataset::generate(
         config.num_classes(),
         config.points_per_class(),

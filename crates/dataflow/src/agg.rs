@@ -8,7 +8,6 @@ use crate::{DataflowError, PCollection};
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::hash::Hash;
-use std::sync::atomic::Ordering;
 
 impl<T: Record> PCollection<T> {
     /// Folds every record into an accumulator per shard, then merges the
@@ -101,6 +100,7 @@ impl PCollection<f64> {
     /// Returns an error if `k == 0`, `k` exceeds the number of records, the
     /// collection contains NaN, or spill I/O fails.
     pub fn kth_largest(&self, k: u64) -> Result<f64, DataflowError> {
+        let _span = submod_obs::span("dataflow.kth_largest");
         if k == 0 {
             return Err(DataflowError::invalid("k must be at least 1"));
         }
@@ -179,6 +179,7 @@ where
         F: Fn(Acc, V) -> Acc + Send + Sync,
         M: Fn(Acc, Acc) -> Acc + Send + Sync,
     {
+        let _span = submod_obs::span("dataflow.aggregate_per_key");
         let ctx = self.ctx().clone();
         // --- Map side: per-shard combiner tables, flushed on budget. ---
         let partial_groups: Vec<Vec<Shard<(K, Acc)>>> = self
@@ -199,7 +200,7 @@ where
                     table.insert(k, acc);
                     ctx.metrics.observe_worker_bytes(table_bytes);
                     if ctx.budget.exceeded_by(table_bytes) {
-                        ctx.metrics.combiner_flushes.fetch_add(1, Ordering::Relaxed);
+                        ctx.metrics.record_combiner_flush();
                         for entry in std::mem::take(&mut table) {
                             sink.push(entry)?;
                         }

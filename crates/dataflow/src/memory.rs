@@ -80,17 +80,45 @@ impl MetricsInner {
     pub fn record_spill(&self, bytes: u64) {
         self.bytes_spilled.fetch_add(bytes, Ordering::Relaxed);
         self.spill_files.fetch_add(1, Ordering::Relaxed);
+        submod_obs::counter!("dataflow.spill.bytes_written").add(bytes);
+        submod_obs::counter!("dataflow.spill.files").incr();
+        submod_obs::histogram!("dataflow.spill.file_bytes").record(bytes);
     }
 
     pub fn record_broadcast(&self, bytes: u64) {
         self.bytes_broadcast.fetch_add(bytes, Ordering::Relaxed);
+        submod_obs::counter!("dataflow.broadcast.bytes").add(bytes);
     }
 
     pub fn observe_worker_bytes(&self, bytes: u64) {
         self.peak_worker_bytes.fetch_max(bytes, Ordering::Relaxed);
     }
 
+    pub fn record_processed(&self, records: u64) {
+        self.records_processed.fetch_add(records, Ordering::Relaxed);
+        submod_obs::counter!("dataflow.records_processed").add(records);
+    }
+
+    pub fn record_shuffled(&self, records: u64) {
+        self.records_shuffled.fetch_add(records, Ordering::Relaxed);
+        submod_obs::counter!("dataflow.records_shuffled").add(records);
+    }
+
+    pub fn record_external_merge(&self) {
+        self.external_merges.fetch_add(1, Ordering::Relaxed);
+        submod_obs::counter!("dataflow.external_merges").incr();
+    }
+
+    pub fn record_combiner_flush(&self) {
+        self.combiner_flushes.fetch_add(1, Ordering::Relaxed);
+        submod_obs::counter!("dataflow.combiner_flushes").incr();
+    }
+
     pub fn snapshot(&self) -> PipelineMetrics {
+        // `observe_worker_bytes` runs per record, so the registry mirror
+        // happens here, at read granularity, instead of on the hot path.
+        submod_obs::gauge!("dataflow.worker_bytes_peak")
+            .fetch_max(self.peak_worker_bytes.load(Ordering::Relaxed));
         PipelineMetrics {
             records_processed: self.records_processed.load(Ordering::Relaxed),
             records_shuffled: self.records_shuffled.load(Ordering::Relaxed),

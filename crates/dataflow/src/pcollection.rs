@@ -4,7 +4,6 @@ use crate::codec::Record;
 use crate::pipeline::{Ctx, Shard, ShardSink};
 use crate::DataflowError;
 use rayon::prelude::*;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// An immutable, sharded, possibly disk-resident collection of records —
@@ -97,7 +96,7 @@ impl<T: Record> PCollection<T> {
         U: Record,
         F: Fn(T) -> U + Send + Sync,
     {
-        self.transform_shards(|record, sink| sink.push(f(record)))
+        self.transform_shards("map", |record, sink| sink.push(f(record)))
     }
 
     /// Keeps the records for which `predicate` returns `true`.
@@ -110,6 +109,7 @@ impl<T: Record> PCollection<T> {
         F: Fn(&T) -> bool + Send + Sync,
     {
         self.transform_shards(
+            "filter",
             |record, sink| {
                 if predicate(&record) {
                     sink.push(record)
@@ -133,7 +133,7 @@ impl<T: Record> PCollection<T> {
         I: IntoIterator<Item = U>,
         F: Fn(T) -> I + Send + Sync,
     {
-        self.transform_shards(|record, sink| {
+        self.transform_shards("flat_map", |record, sink| {
             for out in f(record) {
                 sink.push(out)?;
             }
@@ -179,12 +179,24 @@ impl<T: Record> PCollection<T> {
         Ok(PCollection { ctx: self.ctx.clone(), shards })
     }
 
-    /// Shared shard-parallel transform driver.
-    fn transform_shards<U, F>(&self, body: F) -> Result<PCollection<U>, DataflowError>
+    /// Shared shard-parallel transform driver. `op` names the transform
+    /// in per-op registry counters (`dataflow.op.<op>.records`), flushed
+    /// once per shard.
+    fn transform_shards<U, F>(
+        &self,
+        op: &'static str,
+        body: F,
+    ) -> Result<PCollection<U>, DataflowError>
     where
         U: Record,
         F: Fn(T, &mut ShardSink<'_, U>) -> Result<(), DataflowError> + Send + Sync,
     {
+        let _span = submod_obs::span_full(match op {
+            "map" => "dataflow.map",
+            "filter" => "dataflow.filter",
+            _ => "dataflow.flat_map",
+        });
+        let op_records = submod_obs::counter(&format!("dataflow.op.{op}.records"));
         let ctx = &self.ctx;
         let shard_groups: Vec<Vec<Shard<U>>> = self
             .shards
@@ -196,7 +208,8 @@ impl<T: Record> PCollection<T> {
                     processed += 1;
                     body(record, &mut sink)
                 })?;
-                ctx.metrics.records_processed.fetch_add(processed, Ordering::Relaxed);
+                ctx.metrics.record_processed(processed);
+                op_records.add(processed);
                 sink.finish()
             })
             .collect::<Result<_, _>>()?;

@@ -20,7 +20,6 @@ use rayon::prelude::*;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::Hash;
-use std::sync::atomic::Ordering;
 use std::sync::Mutex;
 
 /// FNV-1a over the encoded key: stable across processes and runs, unlike
@@ -80,6 +79,7 @@ where
     ///
     /// Returns an error if spill I/O fails.
     pub fn group_by_key(&self) -> Result<PCollection<(K, Vec<V>)>, DataflowError> {
+        let _span = submod_obs::span("dataflow.group_by_key");
         let ctx = self.ctx().clone();
         let buckets = ctx.workers.max(1);
         // Per-bucket buffer limit: the worker budget split across buckets.
@@ -132,7 +132,7 @@ where
                     }
                     Ok(())
                 })?;
-                ctx.metrics.records_shuffled.fetch_add(shuffled, Ordering::Relaxed);
+                ctx.metrics.record_shuffled(shuffled);
                 for (b, buf) in buffers.into_iter().enumerate() {
                     if !buf.is_empty() {
                         let bytes = buffer_bytes[b];
@@ -163,7 +163,7 @@ where
                 if !ctx.budget.exceeded_by(total_bytes) {
                     group_bucket_in_memory(runs, &mut sink)?;
                 } else {
-                    ctx.metrics.external_merges.fetch_add(1, Ordering::Relaxed);
+                    ctx.metrics.record_external_merge();
                     group_bucket_external(runs, &ctx, &mut sink)?;
                 }
                 sink.finish()

@@ -109,6 +109,9 @@ impl<T: Record> SpillReader<T> {
     pub fn open(file: &SpillFile) -> Result<Self, DataflowError> {
         let handle =
             File::open(&file.path).map_err(|e| DataflowError::io("opening spill file", e))?;
+        // Codec read traffic: the whole file streams back through the
+        // decoder, so the open (not each record) charges the counter.
+        submod_obs::counter!("dataflow.spill.bytes_read").add(file.bytes);
         Ok(SpillReader {
             reader: BufReader::new(handle),
             remaining: file.count,

@@ -106,6 +106,14 @@ impl BoundingStats {
         self.peak_pass_bytes = self.peak_pass_bytes.max(pass_bytes);
         self.peak_candidates = self.peak_candidates.max(candidates);
         self.peak_state_bytes = self.peak_state_bytes.max(state_bytes);
+        // Mirror into the metrics registry — the workspace-wide source of
+        // truth `--report-memory` reads; the struct keeps its exact
+        // per-run semantics for the driver-contrast tests.
+        submod_obs::counter!("bounding.passes").incr();
+        submod_obs::gauge!("bounding.peak_pass_bytes").fetch_max(pass_bytes);
+        submod_obs::gauge!("bounding.peak_candidates").fetch_max(candidates as u64);
+        submod_obs::gauge!("bounding.peak_state_bytes").fetch_max(state_bytes);
+        submod_obs::histogram!("bounding.pass_candidates").record(candidates as u64);
     }
 }
 
@@ -640,6 +648,7 @@ fn run_bounding(
     config: &BoundingConfig,
     backend: &mut dyn PassBackend,
 ) -> Result<(BoundingOutcome, BoundingStats), DistError> {
+    let _span = submod_obs::span("bound.run");
     let n = graph.num_nodes();
     let mut state = State { included: NodeSet::new(n), excluded: NodeSet::new(n), k };
     let mut stats = BoundingStats::default();
@@ -670,7 +679,10 @@ fn run_bounding(
             exact,
             grow: true,
         };
-        let result = backend.run_pass(&state, &undecided, spec)?;
+        let result = {
+            let _pass_span = submod_obs::span("bound.pass.grow");
+            backend.run_pass(&state, &undecided, spec)?
+        };
         stats.observe_pass(
             result.driver_bytes,
             result.candidates.len(),
@@ -703,7 +715,10 @@ fn run_bounding(
             exact,
             grow: false,
         };
-        let result = backend.run_pass(&state, &undecided, spec)?;
+        let result = {
+            let _pass_span = submod_obs::span("bound.pass.shrink");
+            backend.run_pass(&state, &undecided, spec)?
+        };
         stats.observe_pass(
             result.driver_bytes,
             result.candidates.len(),

@@ -111,6 +111,15 @@ impl GreedyStats {
         self.peak_step_winners = self.peak_step_winners.max(peak_step_winners);
         self.winners_collected += winners;
         self.peak_state_bytes = self.peak_state_bytes.max(state_bytes);
+        // Mirror into the metrics registry — the workspace-wide source of
+        // truth `--report-memory` reads; the struct keeps its exact
+        // per-run semantics for the driver-contrast tests.
+        submod_obs::counter!("greedy.rounds").incr();
+        submod_obs::counter!("greedy.steps").add(steps as u64);
+        submod_obs::counter!("greedy.winners_collected").add(winners as u64);
+        submod_obs::gauge!("greedy.peak_round_bytes").fetch_max(round_bytes);
+        submod_obs::gauge!("greedy.peak_step_winners").fetch_max(peak_step_winners as u64);
+        submod_obs::gauge!("greedy.peak_state_bytes").fetch_max(state_bytes);
     }
 }
 
@@ -235,6 +244,7 @@ fn run_multiround(
     config: &DistGreedyConfig,
     backend: &mut dyn MachineGreedyBackend,
 ) -> Result<(DistGreedyReport, GreedyStats), DistError> {
+    let _span = submod_obs::span("greedy.run");
     let n = graph.num_nodes();
     let n0 = backend.pool_len();
     let capacity = n0.div_ceil(config.machines).max(1);
@@ -261,9 +271,11 @@ fn run_multiround(
             },
             _ => MachineKeying::Hash { seed, machines: partitions as u64 },
         };
+        let round_span = submod_obs::span("greedy.round");
         let phase_bytes = backend.begin_phase(keying, partitions)?;
         let outcome = run_phase(backend, n, quota)?;
         backend.end_phase(&outcome.members)?;
+        drop(round_span);
         let state_bytes = (size_of_val(outcome.members.words())
             + outcome.selected.len() * size_of::<u64>()
             + (rounds.len() + 1) * size_of::<RoundStats>()) as u64;
@@ -285,6 +297,7 @@ fn run_multiround(
         final_pool = outcome.selected;
     }
     stats.bytes_broadcast = backend.bytes_broadcast();
+    submod_obs::gauge!("greedy.bytes_broadcast").fetch_max(stats.bytes_broadcast);
 
     let selection = finalize(graph, objective, ground, final_pool, k)?;
     Ok((DistGreedyReport { selection, rounds }, stats))

@@ -165,8 +165,12 @@ impl<'scope> Scope<'scope> {
         // `queued` rises *before* the push: a racing worker that pops the
         // job immediately must never decrement the counter below zero. A
         // parker glimpsing the transient over-count merely re-polls once.
-        self.queued.fetch_add(1, Ordering::SeqCst);
-        let job: Job<'scope> = Box::new(f);
+        let depth = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+        submod_obs::gauge!("exec.queue_depth_peak").fetch_max(depth as u64);
+        // Capture the spawner's open span so spans opened inside the task
+        // nest under it no matter which worker ends up running the job.
+        let parent = submod_obs::current_span();
+        let job: Job<'scope> = Box::new(move |s| submod_obs::with_parent(parent, || f(s)));
         if in_worker() {
             // Spawned from inside a task: every worker may pick it up.
             self.injector.lock().expect("injector").push_back(job);
@@ -205,6 +209,9 @@ impl<'scope> Scope<'scope> {
             REGION_ENTRIES.fetch_add(1, Ordering::Relaxed);
             REGION_SPAWNS.fetch_add(spawned as u64, Ordering::Relaxed);
             REGION_ENTRY_NANOS.fetch_add(entry.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            submod_obs::counter!("exec.region_entries").incr();
+            submod_obs::counter!("exec.region_spawns").add(spawned as u64);
+            submod_obs::counter!("exec.region_entry_nanos").add(entry.elapsed().as_nanos() as u64);
         }
         // Close the region even if `work` unwinds: the guard retires the
         // published job and waits out every attached helper, so no
@@ -280,6 +287,7 @@ impl<'scope> Scope<'scope> {
         let guard = self.parking.lock().expect("parking mutex");
         if self.queued.load(Ordering::SeqCst) == 0 && self.outstanding.load(Ordering::SeqCst) != 0 {
             PARKS.fetch_add(1, Ordering::Relaxed);
+            submod_obs::counter!("exec.parks").incr();
             drop(self.wakeup.wait(guard).expect("parking condvar"));
         }
     }
@@ -304,6 +312,7 @@ impl<'scope> Scope<'scope> {
             if let Some(job) = self.locals[victim].lock().expect("victim deque").pop_back() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
                 STEALS.fetch_add(1, Ordering::Relaxed);
+                submod_obs::counter!("exec.steals").incr();
                 return Some(job);
             }
         }

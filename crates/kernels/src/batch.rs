@@ -103,6 +103,10 @@ pub fn batch_top_k(
     if k == 0 || nq == 0 {
         return vec![Vec::new(); nq];
     }
+    // Dispatch tally at batch granularity: one registry touch per call,
+    // never per row or per query.
+    submod_obs::counter!("kernels.batch_top_k.calls").incr();
+    submod_obs::counter!("kernels.batch_top_k.row_scans").add((nq * n) as u64);
     let dot1 = dot_fn();
     let dot4 = dot4_fn();
     let full = n / 4 * 4;
@@ -176,6 +180,8 @@ pub fn cosine_top_k_gather(
     if k == 0 {
         return Vec::new();
     }
+    submod_obs::counter!("kernels.gather_top_k.calls").incr();
+    submod_obs::counter!("kernels.gather_top_k.candidates").add(ids.len() as u64);
     let dot1 = dot_fn();
     let dot4 = dot4_fn();
     let qn = dot1(query, query).sqrt();

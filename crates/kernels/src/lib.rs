@@ -90,9 +90,20 @@ static BACKEND: OnceLock<Backend> = OnceLock::new();
 /// The backend every kernel in this process dispatches to, resolved once
 /// from `SUBMOD_KERNELS` (see the crate docs for the policy).
 pub fn backend() -> Backend {
-    *BACKEND.get_or_init(|| match std::env::var("SUBMOD_KERNELS").as_deref().map(str::trim) {
-        Ok("scalar") => Backend::Scalar,
-        _ => detect(),
+    *BACKEND.get_or_init(|| {
+        let resolved = match std::env::var("SUBMOD_KERNELS").as_deref().map(str::trim) {
+            Ok("scalar") => Backend::Scalar,
+            _ => detect(),
+        };
+        // Record which ISA this process dispatches to, once, so a metrics
+        // dump always says what the kernel tallies were measured on.
+        submod_obs::counter(match resolved {
+            Backend::Scalar => "kernels.backend.scalar",
+            Backend::Avx2 => "kernels.backend.avx2",
+            Backend::Neon => "kernels.backend.neon",
+        })
+        .incr();
+        resolved
     })
 }
 

@@ -92,6 +92,8 @@ pub fn build_knn_graph(
     if n == 0 {
         return Err(KnnError::EmptyParameter { name: "embeddings" });
     }
+    let _span = submod_obs::span("knn.build");
+    submod_obs::counter!("knn.build.points").add(n as u64);
 
     let neighbor_lists: Vec<Vec<(u32, f32)>> = match backend {
         KnnBackend::Exact => {
@@ -160,6 +162,9 @@ fn search_all<I: NearestNeighbors + Sync>(
     let blocks: Vec<std::ops::Range<usize>> =
         (0..n).step_by(QUERY_BLOCK).map(|s| s..(s + QUERY_BLOCK).min(n)).collect();
     submod_exec::parallel_map(blocks, |block| {
+        let _span = submod_obs::span_full("knn.search_block");
+        submod_obs::counter!("knn.search.blocks").incr();
+        submod_obs::counter!("knn.search.queries").add(block.len() as u64);
         let queries: Vec<&[f32]> = block.clone().map(|v| embeddings.row(v)).collect();
         let excludes: Vec<u32> = block.map(|v| v as u32).collect();
         index.search_batch_excluding(&queries, k, &excludes)

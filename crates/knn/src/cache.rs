@@ -69,13 +69,17 @@ where
 {
     if path.exists() {
         match load_graph(path) {
-            Ok(loaded) => return Ok(loaded),
+            Ok(loaded) => {
+                submod_obs::counter!("knn.cache.hits").incr();
+                return Ok(loaded);
+            }
             Err(_) => {
                 // Corrupt or stale: fall through and rebuild.
                 let _ = fs::remove_file(path);
             }
         }
     }
+    submod_obs::counter!("knn.cache.misses").incr();
     let (graph, utilities) = build()?;
     save_graph(path, &graph, &utilities)?;
     load_graph(path)

@@ -137,6 +137,8 @@ impl Mmap {
         #[cfg(unix)]
         {
             let ptr = sys::map(file, len)?;
+            submod_obs::counter!("mman.maps").incr();
+            submod_obs::counter!("mman.mapped_bytes").add(len as u64);
             Ok(Mmap { backing: Backing::Mapped { ptr, len } })
         }
         #[cfg(not(unix))]

@@ -15,6 +15,7 @@
 //! | [`submod_knn`] | exact / IVF / LSH k-NN graph construction |
 //! | [`submod_data`] | synthetic datasets, margin utilities, virtual perturbed data |
 //! | [`submod_dist`] | bounding + multi-round distributed greedy + baselines |
+//! | [`submod_obs`] | tracing + metrics: spans, counters, chrome-trace export (`SUBMOD_TRACE`) |
 //!
 //! # Quickstart
 //!
@@ -54,6 +55,7 @@ pub use submod_dist;
 pub use submod_exec;
 pub use submod_kernels;
 pub use submod_knn;
+pub use submod_obs;
 
 /// One-stop imports for the common workflow.
 pub mod prelude {

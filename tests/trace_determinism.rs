@@ -1,0 +1,63 @@
+//! The observability determinism contract: `SUBMOD_TRACE` must never
+//! feed control flow. Selections — in-memory and dataflow drivers —
+//! stay bitwise-identical across `off`/`spans`/`full` at 1, 2, and 8
+//! worker threads.
+//!
+//! Mode flips are process-global, so this file holds a single test and
+//! nothing else runs in its binary.
+
+use submod_select::prelude::*;
+use submod_select::submod_obs::{self, TraceMode};
+
+/// Selected ids plus the objective value's exact bit pattern.
+type Fingerprint = (Vec<NodeId>, u64, Vec<NodeId>, u64);
+
+fn run_drivers(instance: &SelectionInstance) -> Fingerprint {
+    let objective = instance.objective(0.9).expect("objective");
+    let n = instance.len();
+    let k = n / 10;
+    let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let config = DistGreedyConfig::new(4, 3).expect("config").seed(11).adaptive(true);
+
+    let in_memory = distributed_greedy(&instance.graph, &objective, &ground, k, &config)
+        .expect("in-memory greedy");
+    let pipeline = Pipeline::new(4).expect("pipeline");
+    let dataflow =
+        distributed_greedy_dataflow(&pipeline, &instance.graph, &objective, &ground, k, &config)
+            .expect("dataflow greedy");
+    (
+        in_memory.selection.selected().to_vec(),
+        in_memory.selection.objective_value().to_bits(),
+        dataflow.selection.selected().to_vec(),
+        dataflow.selection.objective_value().to_bits(),
+    )
+}
+
+#[test]
+fn selections_are_bitwise_identical_across_trace_modes_and_threads() {
+    let instance = build_instance(&DatasetConfig::tiny().with_points_per_class(30).with_seed(9))
+        .expect("instance");
+
+    let mut reference: Option<Fingerprint> = None;
+    for threads in [1usize, 2, 8] {
+        for mode in [TraceMode::Off, TraceMode::Spans, TraceMode::Full] {
+            submod_obs::set_mode(mode);
+            let fingerprint =
+                submod_select::submod_exec::with_threads(threads, || run_drivers(&instance));
+            match &reference {
+                None => reference = Some(fingerprint),
+                Some(expected) => assert_eq!(
+                    expected, &fingerprint,
+                    "selection changed under threads={threads} mode={mode:?}"
+                ),
+            }
+        }
+    }
+
+    // Full mode actually recorded spans — the contract above is only
+    // interesting if tracing was really on.
+    submod_obs::set_mode(TraceMode::Off);
+    let spans = submod_obs::take_spans();
+    assert!(!spans.is_empty(), "full mode should have buffered spans");
+    assert!(spans.iter().any(|s| s.parent != 0), "spans should nest");
+}
