@@ -4,7 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::{Rng, SeedableRng};
 use submod_core::{GraphBuilder, NodeId, PairwiseObjective, SimilarityGraph};
-use submod_dist::{distributed_greedy, greedi, DistGreedyConfig, PartitionStyle};
+use submod_dataflow::Pipeline;
+use submod_dist::{
+    distributed_greedy, distributed_greedy_dataflow, greedi, DistGreedyConfig, PartitionStyle,
+};
 
 fn instance(n: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
@@ -42,6 +45,38 @@ fn bench_partitions_and_rounds(c: &mut Criterion) {
     group.finish();
 }
 
+/// Same-runner executor comparison at 2k points: the in-memory driver vs
+/// the dataflow driver in lockstep and with multi-winner batched passes.
+/// `bench-diff --dataflow-ratio` gates the dataflow/in_memory ratios of
+/// this group (and of `bounding_executor_2k`) against the checked-in
+/// baseline.
+fn bench_greedy_executor(c: &mut Criterion) {
+    let (graph, objective) = instance(2_000, 3);
+    let ground: Vec<NodeId> = (0..2_000).map(NodeId::from_index).collect();
+    let k = 200;
+    let config = DistGreedyConfig::new(4, 3).unwrap().seed(7);
+    let mut group = c.benchmark_group("greedy_executor_2k");
+    group.sample_size(10);
+    group.bench_function("in_memory", |b| {
+        b.iter(|| distributed_greedy(&graph, &objective, &ground, k, &config).unwrap())
+    });
+    group.bench_function("dataflow", |b| {
+        let pipeline = Pipeline::new(4).unwrap();
+        b.iter(|| {
+            distributed_greedy_dataflow(&pipeline, &graph, &objective, &ground, k, &config).unwrap()
+        })
+    });
+    group.bench_function("dataflow_batched", |b| {
+        let pipeline = Pipeline::new(4).unwrap();
+        let batched = config.clone().winner_batch(64);
+        b.iter(|| {
+            distributed_greedy_dataflow(&pipeline, &graph, &objective, &ground, k, &batched)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
 fn bench_greedi_baseline(c: &mut Criterion) {
     let (graph, objective) = instance(20_000, 2);
     let k = 2_000;
@@ -55,5 +90,10 @@ fn bench_greedi_baseline(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_partitions_and_rounds, bench_greedi_baseline);
+criterion_group!(
+    benches,
+    bench_partitions_and_rounds,
+    bench_greedy_executor,
+    bench_greedi_baseline
+);
 criterion_main!(benches);

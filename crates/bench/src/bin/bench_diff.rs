@@ -18,6 +18,18 @@
 //! *within one file* (all three run in one process on one runner, see
 //! `benches/obs_overhead.rs`) and fails when either tracing mode costs
 //! more than the tolerance over the off path.
+//!
+//! `--dataflow-ratio` is the executor-overhead gate: within each file it
+//! computes the same-runner dataflow/in_memory mean-time ratios of the
+//! `bounding_executor_2k` and `greedy_executor_2k` groups (ratios are
+//! runner-independent, unlike raw nanoseconds), and with two files fails
+//! when any current ratio exceeds its baseline ratio by more than the
+//! tolerance. With one file it just reports the ratios:
+//!
+//! ```text
+//! cargo run -p submod-bench --bin bench-diff -- FILE --dataflow-ratio
+//! cargo run -p submod-bench --bin bench-diff -- BASELINE CURRENT --dataflow-ratio [--tolerance 0.20]
+//! ```
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -109,11 +121,80 @@ fn trace_overhead_gate(entries: &BTreeMap<String, Entry>, tolerance: f64) -> Opt
     Some(ok)
 }
 
+/// The same-runner executor pairs whose dataflow/in_memory ratio the
+/// `--dataflow-ratio` gate tracks.
+const RATIO_PAIRS: [(&str, &str); 3] = [
+    ("bounding_executor_2k", "dataflow_4workers"),
+    ("greedy_executor_2k", "dataflow"),
+    ("greedy_executor_2k", "dataflow_batched"),
+];
+
+/// Computes the dataflow/in_memory mean-time ratio for every tracked
+/// pair. Returns `None` (exit 2) when any entry is missing.
+fn dataflow_ratios(entries: &BTreeMap<String, Entry>) -> Option<Vec<(String, f64)>> {
+    let mut out = Vec::new();
+    for (group, id) in RATIO_PAIRS {
+        let get = |id: &str| {
+            let key = format!("{group}/{id}");
+            let entry = entries.get(&key);
+            if entry.is_none() {
+                eprintln!("error: `{key}` not found — run `cargo bench -p submod-bench` with CRITERION_OUTPUT_JSON set");
+            }
+            entry
+        };
+        let reference = get("in_memory")?;
+        let dataflow = get(id)?;
+        out.push((format!("{group}/{id}"), dataflow.mean_ns / reference.mean_ns));
+    }
+    Some(out)
+}
+
+/// The `--dataflow-ratio` gate: every current same-runner ratio must stay
+/// within `tolerance` of its baseline ratio. Returns `None` (exit 2)
+/// when entries are missing from the *current* file; pairs absent from
+/// the baseline (benches that did not exist on the previous commit) are
+/// reported as new and never fail the gate.
+fn dataflow_ratio_gate(
+    baseline: &BTreeMap<String, Entry>,
+    current: &BTreeMap<String, Entry>,
+    tolerance: f64,
+) -> Option<bool> {
+    let cur = dataflow_ratios(current)?;
+    let mut ok = true;
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  verdict (tolerance +{:.0} % over baseline ratio)",
+        "executor pair",
+        "base ratio",
+        "cur ratio",
+        "drift",
+        tolerance * 100.0
+    );
+    for (name, cur_ratio) in &cur {
+        let (group, id) = name.split_once('/').expect("pair names are group/id");
+        let base_ratio = match (
+            baseline.get(&format!("{group}/in_memory")),
+            baseline.get(&format!("{group}/{id}")),
+        ) {
+            (Some(reference), Some(dataflow)) => dataflow.mean_ns / reference.mean_ns,
+            _ => {
+                println!("{name:<45} {:>12} {cur_ratio:>11.2}x {:>9}  new", "-", "-");
+                continue;
+            }
+        };
+        let drift = cur_ratio / base_ratio;
+        let verdict = if drift > 1.0 + tolerance { "REGRESSION" } else { "ok" };
+        ok &= drift <= 1.0 + tolerance;
+        println!("{name:<45} {base_ratio:>11.2}x {cur_ratio:>11.2}x {drift:>8.3}x  {verdict}");
+    }
+    Some(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional = Vec::new();
     let mut tolerance = None;
     let mut trace_overhead = false;
+    let mut dataflow_ratio = false;
     let mut i = 0;
     while i < args.len() {
         if args[i] == "--tolerance" {
@@ -127,6 +208,8 @@ fn main() -> ExitCode {
             };
         } else if args[i] == "--trace-overhead" {
             trace_overhead = true;
+        } else if args[i] == "--dataflow-ratio" {
+            dataflow_ratio = true;
         } else {
             positional.push(args[i].clone());
         }
@@ -156,6 +239,49 @@ fn main() -> ExitCode {
                 ExitCode::FAILURE
             }
             None => ExitCode::from(2),
+        };
+    }
+
+    if dataflow_ratio {
+        let tolerance = tolerance.unwrap_or(0.20);
+        return match positional.as_slice() {
+            [file] => match dataflow_ratios(&parse_baselines(&read(file))) {
+                Some(ratios) => {
+                    println!("{:<45} {:>12}", "executor pair", "ratio");
+                    for (name, ratio) in &ratios {
+                        println!("{name:<45} {ratio:>11.2}x");
+                    }
+                    ExitCode::SUCCESS
+                }
+                None => ExitCode::from(2),
+            },
+            [baseline, current] => {
+                let baseline = parse_baselines(&read(baseline));
+                let current = parse_baselines(&read(current));
+                match dataflow_ratio_gate(&baseline, &current, tolerance) {
+                    Some(true) => {
+                        println!(
+                            "\ndataflow/in_memory ratios within +{:.0} % of baseline",
+                            tolerance * 100.0
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Some(false) => {
+                        eprintln!(
+                            "\nFAILED: dataflow/in_memory ratio regressed beyond +{:.0} %",
+                            tolerance * 100.0
+                        );
+                        ExitCode::FAILURE
+                    }
+                    None => ExitCode::from(2),
+                }
+            }
+            _ => {
+                eprintln!(
+                    "usage: bench-diff [BASELINE] CURRENT --dataflow-ratio [--tolerance 0.20]"
+                );
+                ExitCode::from(2)
+            }
         };
     }
 
@@ -279,6 +405,65 @@ mod tests {
         entries.remove("obs_overhead/selection_full");
         assert_eq!(trace_overhead_gate(&entries, 0.03), None);
         assert_eq!(trace_overhead_gate(&BTreeMap::new(), 0.03), None);
+    }
+
+    fn executor_entries(pairs: &[(&str, f64)]) -> BTreeMap<String, Entry> {
+        pairs.iter().map(|&(key, mean_ns)| (key.to_string(), Entry { mean_ns })).collect()
+    }
+
+    fn full_executor_entries(bounding: f64, greedy: f64, batched: f64) -> BTreeMap<String, Entry> {
+        executor_entries(&[
+            ("bounding_executor_2k/in_memory", 1000.0),
+            ("bounding_executor_2k/dataflow_4workers", 1000.0 * bounding),
+            ("greedy_executor_2k/in_memory", 2000.0),
+            ("greedy_executor_2k/dataflow", 2000.0 * greedy),
+            ("greedy_executor_2k/dataflow_batched", 2000.0 * batched),
+        ])
+    }
+
+    #[test]
+    fn dataflow_ratios_are_same_runner_quotients() {
+        let ratios = dataflow_ratios(&full_executor_entries(2.5, 3.0, 1.5)).unwrap();
+        assert_eq!(ratios.len(), 3);
+        assert!((ratios[0].1 - 2.5).abs() < 1e-12, "bounding ratio {}", ratios[0].1);
+        assert!((ratios[1].1 - 3.0).abs() < 1e-12);
+        assert!((ratios[2].1 - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dataflow_ratio_gate_passes_within_tolerance() {
+        let baseline = full_executor_entries(2.5, 3.0, 1.5);
+        // Raw times may shift runner to runner; only the ratios count.
+        let current = full_executor_entries(2.6, 3.3, 1.6);
+        assert_eq!(dataflow_ratio_gate(&baseline, &current, 0.20), Some(true));
+    }
+
+    #[test]
+    fn dataflow_ratio_gate_fails_on_ratio_regression() {
+        let baseline = full_executor_entries(2.5, 3.0, 1.5);
+        let current = full_executor_entries(2.5, 3.0, 2.2);
+        assert_eq!(dataflow_ratio_gate(&baseline, &current, 0.20), Some(false));
+    }
+
+    #[test]
+    fn dataflow_ratio_gate_requires_all_current_entries() {
+        let baseline = full_executor_entries(2.5, 3.0, 1.5);
+        let mut current = full_executor_entries(2.5, 3.0, 1.5);
+        current.remove("greedy_executor_2k/dataflow_batched");
+        assert_eq!(dataflow_ratio_gate(&baseline, &current, 0.20), None);
+        assert_eq!(dataflow_ratios(&BTreeMap::new()), None);
+    }
+
+    #[test]
+    fn dataflow_ratio_gate_passes_pairs_missing_from_the_baseline() {
+        // The previous commit may predate a bench group; new pairs are
+        // reported but never gated.
+        let mut baseline = full_executor_entries(2.5, 3.0, 1.5);
+        baseline.remove("greedy_executor_2k/in_memory");
+        baseline.remove("greedy_executor_2k/dataflow");
+        baseline.remove("greedy_executor_2k/dataflow_batched");
+        let current = full_executor_entries(2.5, 9.0, 9.0);
+        assert_eq!(dataflow_ratio_gate(&baseline, &current, 0.20), Some(true));
     }
 
     /// Keys with the escapes criterion's `json_escape` writes must parse

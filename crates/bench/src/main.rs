@@ -44,6 +44,11 @@
 //!                zero driver heap, selections are bitwise-identical,
 //!                and `ltm` reports graph bytes vs the measured peak
 //!                RSS growth of the selection phase
+//!   --fusion on|off
+//!                dataflow operator fusion (default on, same as
+//!                SUBMOD_FUSION). `off` runs every deferrable stage
+//!                eagerly — results are bitwise-identical, only the
+//!                per-stage materialization cost changes
 //!
 //! With `SUBMOD_TRACE=spans` or `=full` (see the README's
 //! Observability section) every experiment exports a chrome-trace to
@@ -105,6 +110,14 @@ fn main() {
                     Some("mem") => GraphStoreMode::Mem,
                     Some("mmap") => GraphStoreMode::Mmap,
                     _ => die("--graph-store expects `mem` or `mmap`"),
+                };
+            }
+            "--fusion" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("on") => submod_dataflow::set_fusion_default(true),
+                    Some("off") => submod_dataflow::set_fusion_default(false),
+                    _ => die("--fusion expects `on` or `off`"),
                 };
             }
             "--threads" => {
@@ -200,7 +213,7 @@ fn print_usage() {
     println!(
         "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|profile|all> \
          [--scale F] [--out DIR] [--quick] [--threads N] [--report-memory] \
-         [--graph-store mem|mmap]"
+         [--graph-store mem|mmap] [--fusion on|off]"
     );
 }
 

@@ -26,7 +26,7 @@ impl<T: Record> PCollection<T> {
         M: Fn(Acc, Acc) -> Acc + Send + Sync,
     {
         let partials: Vec<Acc> = self
-            .shards()
+            .ready_shards()?
             .par_iter()
             .map(|shard| {
                 let mut acc = init.clone();
@@ -103,6 +103,23 @@ impl PCollection<f64> {
         let _span = submod_obs::span("dataflow.kth_largest");
         if k == 0 {
             return Err(DataflowError::invalid("k must be at least 1"));
+        }
+        // Fast path: when every shard is memory-resident after the
+        // barrier, an `f64` shard *is* a contiguous column — the
+        // bisection scans the slices directly instead of dispatching
+        // each of its ~64 counting passes through the generic
+        // clone-per-record aggregate fold. Identical math, identical
+        // result, bit for bit.
+        let shards = self.ready_shards()?;
+        if shards.iter().all(|s| matches!(s, Shard::InMemory(_))) {
+            let slices: Vec<&[f64]> = shards
+                .iter()
+                .map(|s| match s {
+                    Shard::InMemory(v) => v.as_slice(),
+                    Shard::Spilled(_) => unreachable!("checked all-resident"),
+                })
+                .collect();
+            return kth_largest_slices(&slices, k);
         }
         let stats = self.aggregate(
             (0u64, u64::MAX, 0u64, false),
@@ -183,7 +200,7 @@ where
         let ctx = self.ctx().clone();
         // --- Map side: per-shard combiner tables, flushed on budget. ---
         let partial_groups: Vec<Vec<Shard<(K, Acc)>>> = self
-            .shards()
+            .ready_shards()?
             .par_iter()
             .map(|shard| {
                 let mut sink = ShardSink::new(&ctx);
@@ -198,8 +215,11 @@ where
                     let new_bytes = (k.approx_bytes() + acc.approx_bytes()) as u64;
                     table_bytes = table_bytes - old_bytes + new_bytes;
                     table.insert(k, acc);
-                    ctx.metrics.observe_worker_bytes(table_bytes);
+                    // Peak tracking happens at the flush sites (and the
+                    // shard tail below) where the table is at its
+                    // largest, not per record on a shared atomic.
                     if ctx.budget.exceeded_by(table_bytes) {
+                        ctx.metrics.observe_worker_bytes(table_bytes);
                         ctx.metrics.record_combiner_flush();
                         for entry in std::mem::take(&mut table) {
                             sink.push(entry)?;
@@ -208,6 +228,7 @@ where
                     }
                     Ok(())
                 })?;
+                ctx.metrics.observe_worker_bytes(table_bytes);
                 for entry in table {
                     sink.push(entry)?;
                 }
@@ -218,7 +239,7 @@ where
 
         // --- Reduce side: merge the partials of each key in the
         // shuffle's deterministic (shard, sequence) order. ---
-        partials.group_by_key()?.map(move |(k, accs)| {
+        partials.group_by_key()?.map_eager(move |(k, accs)| {
             let mut iter = accs.into_iter();
             let first = iter.next().expect("groups are never empty");
             (k, iter.fold(first, &merge))
@@ -303,6 +324,38 @@ where
         )?
         .map(|(k, (_, id, score))| (k, (id, score)))
     }
+}
+
+/// In-memory twin of the aggregate-based `kth_largest` bisection: one
+/// validation scan over the contiguous `&[f64]` columns, then a single
+/// quickselect over a scratch copy. `total_cmp` order is exactly the
+/// `ordered_bits` order the bisection walks, and elements that compare
+/// equal under it share one bit pattern, so the selected value matches
+/// the bisection bit for bit — without the bisection's ~64 per-iteration
+/// pool dispatches, which dominate small collections.
+fn kth_largest_slices(slices: &[&[f64]], k: u64) -> Result<f64, DataflowError> {
+    let mut count = 0u64;
+    for slice in slices {
+        for &x in *slice {
+            if x.is_nan() {
+                return Err(DataflowError::invalid("kth_largest is undefined with NaN records"));
+            }
+            count += 1;
+        }
+    }
+    if k > count {
+        return Err(DataflowError::invalid(format!(
+            "k = {k} exceeds the {count} records in the collection"
+        )));
+    }
+    let mut scratch: Vec<f64> = Vec::with_capacity(count as usize);
+    for slice in slices {
+        scratch.extend_from_slice(slice);
+    }
+    // The k-th largest (1-based) sits at ascending index `count - k`.
+    let index = (count - k) as usize;
+    let (_, kth, _) = scratch.select_nth_unstable_by(index, f64::total_cmp);
+    Ok(*kth)
 }
 
 /// Maps `f64` to `u64` such that the unsigned order matches the total order

@@ -67,6 +67,7 @@
 mod agg;
 mod codec;
 mod error;
+mod lz;
 mod memory;
 mod pcollection;
 mod pipeline;
@@ -76,10 +77,10 @@ mod side;
 mod spill;
 
 pub use agg::argmax_prefers;
-pub use codec::{Either2, Either3, Record};
+pub use codec::{ColKind, Column, Either2, Either3, FixedWidth, Record};
 pub use error::DataflowError;
 pub use memory::{MemoryBudget, PipelineMetrics};
 pub use pcollection::PCollection;
-pub use pipeline::{Pipeline, PipelineBuilder};
+pub use pipeline::{set_fusion_default, set_spill_compression_default, Pipeline, PipelineBuilder};
 pub use sample::{mix_seed_key, sample_coin, splitmix64};
 pub use side::{BroadcastSet, SideInput};

@@ -1,0 +1,290 @@
+//! A small, dependency-free LZ77 block codec for spill files.
+//!
+//! Spill traffic is dominated by highly regular data — length-prefixed
+//! frames of near-sequential ids and raw fixed-width columns — so even a
+//! byte-oriented greedy matcher recovers a large fraction of the I/O.
+//! The format is snappy-shaped (tag byte, literal runs, 16-bit back
+//! references) but first-party, because the build environment vendors no
+//! compression crates.
+//!
+//! One *block* compresses independently: callers split streams into
+//! [`MAX_BLOCK`]-sized blocks, so offsets always fit `u16` and a corrupt
+//! block cannot poison the rest of a file. Within a block the token
+//! stream is:
+//!
+//! - **Literal run** — tag `(len − 1) << 2 | 0` for runs up to 60 bytes,
+//!   or tag `61 << 2 | 0` followed by `u16` `len − 1` for longer runs,
+//!   then the raw bytes.
+//! - **Copy** — tag `(len − 4) << 2 | 1` for matches of 4..=64 bytes, or
+//!   tag `61 << 2 | 1` followed by `u16` `len − 4` for longer matches,
+//!   then the `u16` little-endian back-offset (1-based, may overlap the
+//!   output tail like any LZ77 run-length copy).
+//!
+//! The compressor never expands a block by more than the final literal
+//! tag bytes; the spill layer stores blocks raw when compression does not
+//! help, so the on-disk format is always ≤ raw + framing.
+
+use crate::DataflowError;
+
+/// Largest block the codec accepts: offsets and extended lengths must fit
+/// `u16`.
+pub(crate) const MAX_BLOCK: usize = 64 * 1024;
+
+const TAG_LITERAL: u8 = 0;
+const TAG_COPY: u8 = 1;
+/// Length marker meaning "a `u16` extended length follows".
+const EXTENDED: u8 = 61;
+
+const HASH_BITS: u32 = 13;
+const MIN_MATCH: usize = 4;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+fn emit_literals(input: &[u8], out: &mut Vec<u8>) {
+    let mut rest = input;
+    while !rest.is_empty() {
+        let run = rest.len().min(MAX_BLOCK);
+        if run <= 60 {
+            out.push(((run - 1) as u8) << 2 | TAG_LITERAL);
+        } else {
+            out.push(EXTENDED << 2 | TAG_LITERAL);
+            out.extend_from_slice(&((run - 1) as u16).to_le_bytes());
+        }
+        out.extend_from_slice(&rest[..run]);
+        rest = &rest[run..];
+    }
+}
+
+fn emit_copy(len: usize, offset: usize, out: &mut Vec<u8>) {
+    debug_assert!((MIN_MATCH..=MAX_BLOCK).contains(&len));
+    debug_assert!((1..=u16::MAX as usize).contains(&offset));
+    if len <= 64 {
+        out.push(((len - MIN_MATCH) as u8) << 2 | TAG_COPY);
+    } else {
+        out.push(EXTENDED << 2 | TAG_COPY);
+        out.extend_from_slice(&((len - MIN_MATCH) as u16).to_le_bytes());
+    }
+    out.extend_from_slice(&(offset as u16).to_le_bytes());
+}
+
+/// Appends the compressed form of `input` (at most [`MAX_BLOCK`] bytes)
+/// to `out`. Infallible: incompressible data degrades to literal runs.
+///
+/// # Panics
+///
+/// Panics if `input` exceeds [`MAX_BLOCK`].
+pub(crate) fn compress_block(input: &[u8], out: &mut Vec<u8>) {
+    assert!(input.len() <= MAX_BLOCK, "lz block larger than {MAX_BLOCK} bytes");
+    if input.len() < MIN_MATCH {
+        emit_literals(input, out);
+        return;
+    }
+    // Last seen position of each 4-byte hash; u16::MAX = empty (input
+    // positions are < MAX_BLOCK, and position u16::MAX can never start a
+    // match because matches need 4 bytes of lookahead... but guard with a
+    // validity check on the bytes themselves anyway).
+    let mut table = vec![u16::MAX; 1 << HASH_BITS];
+    let mut literal_start = 0usize;
+    let mut i = 0usize;
+    let limit = input.len() - MIN_MATCH + 1;
+    while i < limit {
+        let h = hash4(&input[i..]);
+        let candidate = table[h] as usize;
+        table[h] = i as u16;
+        let offset = i.wrapping_sub(candidate);
+        if candidate < i
+            && offset <= u16::MAX as usize
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH]
+        {
+            // Extend the match as far as it goes.
+            let mut len = MIN_MATCH;
+            while i + len < input.len() && input[candidate + len] == input[i + len] {
+                len += 1;
+            }
+            emit_literals(&input[literal_start..i], out);
+            emit_copy(len, offset, out);
+            // Index the skipped region (sparsely past the first bytes
+            // would also work; full indexing helps periodic data).
+            let next = i + len;
+            i += 1;
+            while i < next.min(limit) {
+                table[hash4(&input[i..])] = i as u16;
+                i += 1;
+            }
+            i = next;
+            literal_start = next;
+        } else {
+            i += 1;
+        }
+    }
+    emit_literals(&input[literal_start..], out);
+}
+
+/// Decompresses one block produced by [`compress_block`] into exactly
+/// `raw_len` bytes.
+///
+/// # Errors
+///
+/// Returns a codec error on malformed tokens, out-of-range back
+/// references, or a length mismatch.
+pub(crate) fn decompress_block(mut input: &[u8], raw_len: usize) -> Result<Vec<u8>, DataflowError> {
+    let mut out = Vec::with_capacity(raw_len);
+    while !input.is_empty() {
+        let tag = input[0];
+        input = &input[1..];
+        let marker = tag >> 2;
+        match tag & 0b11 {
+            TAG_LITERAL => {
+                let len = if marker == EXTENDED {
+                    let ext = read_u16(&mut input)?;
+                    ext as usize + 1
+                } else {
+                    marker as usize + 1
+                };
+                if input.len() < len {
+                    return Err(DataflowError::codec("lz literal run past end of block"));
+                }
+                out.extend_from_slice(&input[..len]);
+                input = &input[len..];
+            }
+            TAG_COPY => {
+                let len = if marker == EXTENDED {
+                    let ext = read_u16(&mut input)?;
+                    ext as usize + MIN_MATCH
+                } else {
+                    marker as usize + MIN_MATCH
+                };
+                let offset = read_u16(&mut input)? as usize;
+                if offset == 0 || offset > out.len() {
+                    return Err(DataflowError::codec("lz copy offset outside output"));
+                }
+                // Byte-at-a-time: copies may overlap their own output.
+                let start = out.len() - offset;
+                for k in 0..len {
+                    let byte = out[start + k];
+                    out.push(byte);
+                }
+            }
+            other => {
+                return Err(DataflowError::codec(format!("invalid lz tag kind {other}")));
+            }
+        }
+        if out.len() > raw_len {
+            return Err(DataflowError::codec("lz block decompressed past its raw length"));
+        }
+    }
+    if out.len() != raw_len {
+        return Err(DataflowError::codec(format!(
+            "lz block decompressed to {} bytes, expected {raw_len}",
+            out.len()
+        )));
+    }
+    Ok(out)
+}
+
+fn read_u16(input: &mut &[u8]) -> Result<u16, DataflowError> {
+    if input.len() < 2 {
+        return Err(DataflowError::codec("truncated lz token"));
+    }
+    let v = u16::from_le_bytes([input[0], input[1]]);
+    *input = &input[2..];
+    Ok(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let mut compressed = Vec::new();
+        compress_block(data, &mut compressed);
+        let back = decompress_block(&compressed, data.len()).expect("decompress");
+        assert_eq!(back, data, "roundtrip mismatch for {} bytes", data.len());
+        compressed.len()
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(roundtrip(&[]), 0);
+        roundtrip(&[7]);
+        roundtrip(&[1, 2, 3]);
+        roundtrip(&[9; 4]);
+    }
+
+    #[test]
+    fn repetitive_data_compresses_hard() {
+        let data = vec![0u8; 50_000];
+        let compressed = roundtrip(&data);
+        assert!(compressed < data.len() / 100, "zeros must crush: {compressed} bytes");
+        let pattern: Vec<u8> = (0..40_000).map(|i| (i % 23) as u8).collect();
+        let compressed = roundtrip(&pattern);
+        assert!(compressed < pattern.len() / 10, "periodic data must crush: {compressed}");
+    }
+
+    #[test]
+    fn framed_records_compress() {
+        // The shape of real spill traffic: length-prefixed (u64, f32)
+        // frames of sequential ids.
+        let mut data = Vec::new();
+        for i in 0..4000u64 {
+            data.extend_from_slice(&12u32.to_le_bytes());
+            data.extend_from_slice(&i.to_le_bytes());
+            data.extend_from_slice(&(i as f32 * 0.5).to_le_bytes());
+        }
+        let compressed = roundtrip(&data);
+        // The changing f32 + low id byte keep ~10 bytes of every 16-byte
+        // record literal; the zero-run copies still cut ~1/3 off.
+        assert!(compressed < data.len() * 7 / 10, "framed records must shrink: {compressed}");
+    }
+
+    #[test]
+    fn incompressible_data_survives() {
+        // splitmix64 byte soup: no 4-byte matches to speak of.
+        let mut state = 0x9E37_79B9u64;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 56) as u8
+            })
+            .collect();
+        let compressed = roundtrip(&data);
+        // Worst case adds only literal tags.
+        assert!(compressed <= data.len() + data.len() / 60 + 16);
+    }
+
+    #[test]
+    fn long_literal_runs_and_long_copies() {
+        // > 60 literal bytes forces the extended literal token; a 5000-byte
+        // match forces the extended copy token.
+        let mut data: Vec<u8> = (0..200).map(|i| (i * 7 + 3) as u8).collect();
+        let tail: Vec<u8> = data.clone();
+        data.extend_from_slice(&tail);
+        data.extend_from_slice(&vec![42u8; 5000]);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn max_block_roundtrips() {
+        let data: Vec<u8> = (0..MAX_BLOCK).map(|i| (i / 64) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn corrupt_blocks_are_errors_not_panics() {
+        let mut compressed = Vec::new();
+        compress_block(b"hello hello hello hello hello", &mut compressed);
+        // Wrong raw_len.
+        assert!(decompress_block(&compressed, 7).is_err());
+        // Truncated stream.
+        assert!(decompress_block(&compressed[..compressed.len() - 3], 29).is_err());
+        // A copy pointing before the start of output.
+        let bogus = [TAG_COPY, 5, 0]; // copy len 4, offset 5, empty output
+        assert!(decompress_block(&bogus, 4).is_err());
+        // Invalid tag kind.
+        assert!(decompress_block(&[0b11, 0, 0, 0], 4).is_err());
+    }
+}

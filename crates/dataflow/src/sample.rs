@@ -54,8 +54,8 @@ impl<T: Record> PCollection<T> {
         probability: P,
     ) -> Result<PCollection<T>, DataflowError>
     where
-        K: Fn(&T) -> u64 + Send + Sync,
-        P: Fn(&T) -> f64 + Send + Sync,
+        K: Fn(&T) -> u64 + Send + Sync + 'static,
+        P: Fn(&T) -> f64 + Send + Sync + 'static,
     {
         self.filter(move |t| sample_coin(seed, key(t)) < probability(t))
     }

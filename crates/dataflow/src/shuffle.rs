@@ -99,7 +99,7 @@ where
         let bucket_runs: Vec<Mutex<Vec<(usize, u64, Run<K, V>)>>> =
             (0..buckets).map(|_| Mutex::new(Vec::new())).collect();
 
-        let shards = self.shards();
+        let shards = self.ready_shards()?;
         (0..shards.len())
             .into_par_iter()
             .map(|shard_idx| {
@@ -115,12 +115,13 @@ where
                     buffers[b].push((k, v));
                     shuffled += 1;
                     if buffer_bytes[b] > bucket_limit {
-                        let mut writer = SpillWriter::create(ctx.spill.fresh_path())?;
+                        let mut writer =
+                            SpillWriter::create(ctx.spill.fresh_path(), ctx.spill_compress)?;
                         for record in &buffers[b] {
                             writer.write(record)?;
                         }
                         let file = writer.finish()?;
-                        ctx.metrics.record_spill(file.bytes);
+                        ctx.metrics.record_spill(file.bytes, file.disk_bytes);
                         let run = Run { bytes: file.bytes, data: RunData::Disk(file) };
                         bucket_runs[b]
                             .lock()
@@ -183,7 +184,7 @@ where
     where
         F: Fn(V, V) -> V + Send + Sync,
     {
-        self.group_by_key()?.map(move |(k, values)| {
+        self.group_by_key()?.map_eager(move |(k, values)| {
             let mut iter = values.into_iter();
             let first = iter.next().expect("groups are never empty");
             (k, iter.fold(first, &combine))
@@ -293,12 +294,12 @@ where
     for run in runs {
         let mut records = run.into_records()?;
         records.sort_by(|a, b| a.0.cmp(&b.0));
-        let mut writer = SpillWriter::create(ctx.spill.fresh_path())?;
+        let mut writer = SpillWriter::create(ctx.spill.fresh_path(), ctx.spill_compress)?;
         for record in &records {
             writer.write(record)?;
         }
         let file = writer.finish()?;
-        ctx.metrics.record_spill(file.bytes);
+        ctx.metrics.record_spill(file.bytes, file.disk_bytes);
         sorted_files.push(file);
     }
 

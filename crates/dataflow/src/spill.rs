@@ -1,16 +1,37 @@
 //! Disk-backed shard storage.
 //!
 //! When a worker's buffer exceeds its [`crate::MemoryBudget`], the buffer is
-//! written to a *spill file*: a sequence of length-prefixed encoded records.
+//! written to a *spill file*. Two payload formats exist:
+//!
+//! - **Framed** (the default): a sequence of length-prefixed encoded
+//!   records, one codec frame per record.
+//! - **Columnar**: for [`crate::FixedWidth`] record types, blocks of
+//!   [`COLUMN_BLOCK_ROWS`] rows stored as raw little-endian column bytes
+//!   (`[u32 rows][column 0 bytes][column 1 bytes]…`), skipping the
+//!   per-record codec entirely.
+//!
+//! Beneath either format sits an optional LZ block layer (see
+//! [`crate::lz`]): the byte stream is chopped into 64 KiB blocks, each
+//! written as `[u32 raw_len][u32 comp_len][payload]` with the payload
+//! stored raw whenever compression does not shrink it. A [`SpillFile`]
+//! tracks both the *logical* byte count (`bytes`, what budget accounting
+//! and `bytes_spilled` report — compression never changes spill
+//! semantics) and the bytes that actually hit disk (`disk_bytes`).
+//!
 //! Spill files live in a per-pipeline temporary directory that is removed
 //! when the pipeline is dropped.
 
-use crate::codec::Record;
+use crate::codec::{ColKind, Column, Record};
+use crate::lz;
 use crate::DataflowError;
 use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Rows per columnar block: bounds reader memory to one block of columns
+/// regardless of shard size.
+pub(crate) const COLUMN_BLOCK_ROWS: usize = 256;
 
 /// Owns the spill directory of one pipeline and hands out unique file paths.
 #[derive(Debug)]
@@ -54,26 +75,173 @@ impl Drop for SpillStore {
 pub(crate) struct SpillFile {
     pub path: PathBuf,
     pub count: usize,
+    /// Logical (pre-compression) payload bytes. Budget accounting and the
+    /// `bytes_spilled` metric use this, so turning compression on never
+    /// changes when or how much a pipeline spills.
     pub bytes: u64,
+    /// Bytes actually written to disk (post-compression, incl. framing).
+    pub disk_bytes: u64,
+    pub compressed: bool,
+    pub columnar: bool,
+}
+
+/// The byte-stream layer beneath both spill formats: plain pass-through
+/// or LZ block frames.
+enum ByteSink {
+    Plain { writer: BufWriter<File>, disk: u64 },
+    Lz { writer: BufWriter<File>, pending: Vec<u8>, scratch: Vec<u8>, disk: u64 },
+}
+
+fn write_lz_block(
+    writer: &mut BufWriter<File>,
+    block: &[u8],
+    scratch: &mut Vec<u8>,
+) -> Result<u64, DataflowError> {
+    scratch.clear();
+    lz::compress_block(block, scratch);
+    // `comp_len == raw_len` is the stored-raw marker, so a compressed
+    // payload must be strictly smaller to be used.
+    let payload: &[u8] = if scratch.len() < block.len() { scratch } else { block };
+    writer
+        .write_all(&(block.len() as u32).to_le_bytes())
+        .and_then(|()| writer.write_all(&(payload.len() as u32).to_le_bytes()))
+        .and_then(|()| writer.write_all(payload))
+        .map_err(|e| DataflowError::io("writing lz spill block", e))?;
+    Ok(8 + payload.len() as u64)
+}
+
+impl ByteSink {
+    fn create(path: &Path, compress: bool) -> Result<Self, DataflowError> {
+        let file = File::create(path).map_err(|e| DataflowError::io("creating spill file", e))?;
+        let writer = BufWriter::new(file);
+        Ok(if compress {
+            ByteSink::Lz { writer, pending: Vec::new(), scratch: Vec::new(), disk: 0 }
+        } else {
+            ByteSink::Plain { writer, disk: 0 }
+        })
+    }
+
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), DataflowError> {
+        match self {
+            ByteSink::Plain { writer, disk } => {
+                writer.write_all(bytes).map_err(|e| DataflowError::io("writing spill bytes", e))?;
+                *disk += bytes.len() as u64;
+                Ok(())
+            }
+            ByteSink::Lz { writer, pending, scratch, disk } => {
+                pending.extend_from_slice(bytes);
+                while pending.len() >= lz::MAX_BLOCK {
+                    *disk += write_lz_block(writer, &pending[..lz::MAX_BLOCK], scratch)?;
+                    pending.drain(..lz::MAX_BLOCK);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Flushes everything and returns the bytes written to disk.
+    fn finish(self) -> Result<u64, DataflowError> {
+        match self {
+            ByteSink::Plain { mut writer, disk } => {
+                writer.flush().map_err(|e| DataflowError::io("flushing spill file", e))?;
+                Ok(disk)
+            }
+            ByteSink::Lz { mut writer, pending, mut scratch, mut disk } => {
+                if !pending.is_empty() {
+                    disk += write_lz_block(&mut writer, &pending, &mut scratch)?;
+                }
+                writer.flush().map_err(|e| DataflowError::io("flushing spill file", e))?;
+                Ok(disk)
+            }
+        }
+    }
+}
+
+/// Reader counterpart of [`ByteSink`].
+enum ByteSource {
+    Plain(BufReader<File>),
+    Lz { reader: BufReader<File>, buf: Vec<u8>, pos: usize },
+}
+
+impl ByteSource {
+    fn open(path: &Path, compressed: bool) -> Result<Self, DataflowError> {
+        let handle = File::open(path).map_err(|e| DataflowError::io("opening spill file", e))?;
+        let reader = BufReader::new(handle);
+        Ok(if compressed {
+            ByteSource::Lz { reader, buf: Vec::new(), pos: 0 }
+        } else {
+            ByteSource::Plain(reader)
+        })
+    }
+
+    fn read_exact(&mut self, mut out: &mut [u8]) -> Result<(), DataflowError> {
+        match self {
+            ByteSource::Plain(reader) => {
+                reader.read_exact(out).map_err(|e| DataflowError::io("reading spill bytes", e))
+            }
+            ByteSource::Lz { reader, buf, pos } => {
+                while !out.is_empty() {
+                    if *pos == buf.len() {
+                        let mut header = [0u8; 8];
+                        reader
+                            .read_exact(&mut header)
+                            .map_err(|e| DataflowError::io("reading lz spill frame header", e))?;
+                        let raw_len =
+                            u32::from_le_bytes([header[0], header[1], header[2], header[3]])
+                                as usize;
+                        let comp_len =
+                            u32::from_le_bytes([header[4], header[5], header[6], header[7]])
+                                as usize;
+                        if raw_len > lz::MAX_BLOCK || comp_len > raw_len {
+                            return Err(DataflowError::codec(
+                                "invalid lz frame header in spill file",
+                            ));
+                        }
+                        let mut payload = vec![0u8; comp_len];
+                        reader
+                            .read_exact(&mut payload)
+                            .map_err(|e| DataflowError::io("reading lz spill frame body", e))?;
+                        *buf = if comp_len == raw_len {
+                            payload
+                        } else {
+                            lz::decompress_block(&payload, raw_len)?
+                        };
+                        *pos = 0;
+                    }
+                    let n = (buf.len() - *pos).min(out.len());
+                    out[..n].copy_from_slice(&buf[*pos..*pos + n]);
+                    *pos += n;
+                    out = &mut out[n..];
+                }
+                Ok(())
+            }
+        }
+    }
 }
 
 /// Streams records into a spill file with length-prefix framing.
+///
+/// The encode scratch buffer is allocated once per file and reused for
+/// every record, so the per-record cost is one codec encode plus two
+/// buffered writes.
 pub(crate) struct SpillWriter {
-    writer: BufWriter<File>,
+    sink: ByteSink,
     path: PathBuf,
     count: usize,
     bytes: u64,
+    compressed: bool,
     scratch: Vec<u8>,
 }
 
 impl SpillWriter {
-    pub fn create(path: PathBuf) -> Result<Self, DataflowError> {
-        let file = File::create(&path).map_err(|e| DataflowError::io("creating spill file", e))?;
+    pub fn create(path: PathBuf, compress: bool) -> Result<Self, DataflowError> {
+        let sink = ByteSink::create(&path, compress)?;
         Ok(SpillWriter {
-            writer: BufWriter::new(file),
+            sink,
             path,
             count: 0,
             bytes: 0,
+            compressed: compress,
             scratch: Vec::new(),
         })
     }
@@ -82,42 +250,103 @@ impl SpillWriter {
         self.scratch.clear();
         record.encode(&mut self.scratch);
         let len = self.scratch.len() as u32;
-        self.writer
-            .write_all(&len.to_le_bytes())
-            .and_then(|()| self.writer.write_all(&self.scratch))
-            .map_err(|e| DataflowError::io("writing spill record", e))?;
+        self.sink.write_all(&len.to_le_bytes())?;
+        self.sink.write_all(&self.scratch)?;
         self.count += 1;
         self.bytes += 4 + u64::from(len);
         Ok(())
     }
 
-    pub fn finish(mut self) -> Result<SpillFile, DataflowError> {
-        self.writer.flush().map_err(|e| DataflowError::io("flushing spill file", e))?;
-        Ok(SpillFile { path: self.path, count: self.count, bytes: self.bytes })
+    pub fn finish(self) -> Result<SpillFile, DataflowError> {
+        let disk_bytes = self.sink.finish()?;
+        Ok(SpillFile {
+            path: self.path,
+            count: self.count,
+            bytes: self.bytes,
+            disk_bytes,
+            compressed: self.compressed,
+            columnar: false,
+        })
     }
+}
+
+/// Writes `records` of a [`crate::FixedWidth`] type as raw column bytes,
+/// in blocks of [`COLUMN_BLOCK_ROWS`] rows — no per-record codec frames.
+pub(crate) fn spill_columns<T: Record>(
+    path: PathBuf,
+    compress: bool,
+    records: &[T],
+    kinds: &[ColKind],
+) -> Result<SpillFile, DataflowError> {
+    let mut sink = ByteSink::create(&path, compress)?;
+    let mut columns: Vec<Column> = kinds.iter().map(|&k| Column::new(k)).collect();
+    let mut col_bytes = Vec::new();
+    let mut bytes = 0u64;
+    for block in records.chunks(COLUMN_BLOCK_ROWS) {
+        for column in &mut columns {
+            column.clear();
+        }
+        for record in block {
+            record.append_columns(&mut columns);
+        }
+        sink.write_all(&(block.len() as u32).to_le_bytes())?;
+        bytes += 4;
+        for column in &columns {
+            col_bytes.clear();
+            column.write_le(&mut col_bytes);
+            sink.write_all(&col_bytes)?;
+            bytes += col_bytes.len() as u64;
+        }
+    }
+    let disk_bytes = sink.finish()?;
+    Ok(SpillFile {
+        path,
+        count: records.len(),
+        bytes,
+        disk_bytes,
+        compressed: compress,
+        columnar: true,
+    })
+}
+
+/// Format-specific reader state.
+enum ReadMode {
+    Frames {
+        scratch: Vec<u8>,
+    },
+    Columns {
+        kinds: Vec<ColKind>,
+        block: Vec<Column>,
+        cursor: usize,
+        rows: usize,
+        scratch: Vec<u8>,
+    },
 }
 
 /// Streams records back out of a spill file.
 pub(crate) struct SpillReader<T: Record> {
-    reader: BufReader<File>,
+    source: ByteSource,
     remaining: usize,
-    scratch: Vec<u8>,
+    mode: ReadMode,
     _marker: std::marker::PhantomData<fn() -> T>,
 }
 
 impl<T: Record> SpillReader<T> {
     pub fn open(file: &SpillFile) -> Result<Self, DataflowError> {
-        let handle =
-            File::open(&file.path).map_err(|e| DataflowError::io("opening spill file", e))?;
+        let source = ByteSource::open(&file.path, file.compressed)?;
         // Codec read traffic: the whole file streams back through the
-        // decoder, so the open (not each record) charges the counter.
+        // decoder, so the open (not each record) charges the counter with
+        // the logical byte count.
         submod_obs::counter!("dataflow.spill.bytes_read").add(file.bytes);
-        Ok(SpillReader {
-            reader: BufReader::new(handle),
-            remaining: file.count,
-            scratch: Vec::new(),
-            _marker: std::marker::PhantomData,
-        })
+        let mode = if file.columnar {
+            let kinds = T::column_kinds().ok_or_else(|| {
+                DataflowError::codec("columnar spill file read as a non-columnar record type")
+            })?;
+            ReadMode::Columns { kinds, block: Vec::new(), cursor: 0, rows: 0, scratch: Vec::new() }
+        } else {
+            ReadMode::Frames { scratch: Vec::new() }
+        };
+        Ok(SpillReader { source, remaining: file.count, mode, _marker: std::marker::PhantomData })
     }
 
     /// Reads the next record, or `None` when the file is exhausted.
@@ -125,20 +354,45 @@ impl<T: Record> SpillReader<T> {
         if self.remaining == 0 {
             return Ok(None);
         }
-        let mut len_buf = [0u8; 4];
-        self.reader
-            .read_exact(&mut len_buf)
-            .map_err(|e| DataflowError::io("reading spill record length", e))?;
-        let len = u32::from_le_bytes(len_buf) as usize;
-        self.scratch.resize(len, 0);
-        self.reader
-            .read_exact(&mut self.scratch)
-            .map_err(|e| DataflowError::io("reading spill record body", e))?;
-        let mut slice = self.scratch.as_slice();
-        let record = T::decode(&mut slice)?;
-        if !slice.is_empty() {
-            return Err(DataflowError::codec("trailing bytes in framed spill record"));
-        }
+        let record = match &mut self.mode {
+            ReadMode::Frames { scratch } => {
+                let mut len_buf = [0u8; 4];
+                self.source.read_exact(&mut len_buf)?;
+                let len = u32::from_le_bytes(len_buf) as usize;
+                scratch.resize(len, 0);
+                self.source.read_exact(scratch)?;
+                let mut slice = scratch.as_slice();
+                let record = T::decode(&mut slice)?;
+                if !slice.is_empty() {
+                    return Err(DataflowError::codec("trailing bytes in framed spill record"));
+                }
+                record
+            }
+            ReadMode::Columns { kinds, block, cursor, rows, scratch } => {
+                if *cursor == *rows {
+                    let mut rows_buf = [0u8; 4];
+                    self.source.read_exact(&mut rows_buf)?;
+                    let block_rows = u32::from_le_bytes(rows_buf) as usize;
+                    if block_rows == 0 || block_rows > self.remaining {
+                        return Err(DataflowError::codec(
+                            "columnar spill block row count out of range",
+                        ));
+                    }
+                    block.clear();
+                    for &kind in kinds.iter() {
+                        scratch.resize(block_rows * kind.width(), 0);
+                        self.source.read_exact(scratch)?;
+                        let mut slice = scratch.as_slice();
+                        block.push(Column::read_le(kind, block_rows, &mut slice)?);
+                    }
+                    *rows = block_rows;
+                    *cursor = 0;
+                }
+                let record = T::from_columns(block, *cursor);
+                *cursor += 1;
+                record
+            }
+        };
         self.remaining -= 1;
         Ok(Some(record))
     }
@@ -164,13 +418,14 @@ mod tests {
     #[test]
     fn write_read_roundtrip() {
         let store = store();
-        let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+        let mut writer = SpillWriter::create(store.fresh_path(), false).unwrap();
         for i in 0..100u64 {
             writer.write(&(i, i as f32 * 0.5)).unwrap();
         }
         let file = writer.finish().unwrap();
         assert_eq!(file.count, 100);
         assert!(file.bytes > 0);
+        assert_eq!(file.disk_bytes, file.bytes, "uncompressed frames hit disk verbatim");
         let records: Vec<(u64, f32)> = SpillReader::open(&file).unwrap().read_all().unwrap();
         assert_eq!(records.len(), 100);
         assert_eq!(records[7], (7, 3.5));
@@ -179,7 +434,7 @@ mod tests {
     #[test]
     fn streaming_read_stops_at_count() {
         let store = store();
-        let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+        let mut writer = SpillWriter::create(store.fresh_path(), false).unwrap();
         writer.write(&1u32).unwrap();
         writer.write(&2u32).unwrap();
         let file = writer.finish().unwrap();
@@ -193,7 +448,7 @@ mod tests {
     #[test]
     fn empty_file_roundtrip() {
         let store = store();
-        let writer = SpillWriter::create(store.fresh_path()).unwrap();
+        let writer = SpillWriter::create(store.fresh_path(), false).unwrap();
         let file = writer.finish().unwrap();
         assert_eq!(file.count, 0);
         let records: Vec<u64> = SpillReader::open(&file).unwrap().read_all().unwrap();
@@ -206,7 +461,7 @@ mod tests {
         {
             let store = store();
             dir = store.fresh_path().parent().unwrap().to_path_buf();
-            let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+            let mut writer = SpillWriter::create(store.fresh_path(), false).unwrap();
             writer.write(&1u8).unwrap();
             writer.finish().unwrap();
             assert!(dir.exists());
@@ -217,7 +472,7 @@ mod tests {
     #[test]
     fn variable_length_records_roundtrip() {
         let store = store();
-        let mut writer = SpillWriter::create(store.fresh_path()).unwrap();
+        let mut writer = SpillWriter::create(store.fresh_path(), false).unwrap();
         let values = vec![vec![1u64; 1], vec![2u64; 50], vec![], vec![3u64; 7]];
         for v in &values {
             writer.write(v).unwrap();
@@ -225,5 +480,108 @@ mod tests {
         let file = writer.finish().unwrap();
         let back: Vec<Vec<u64>> = SpillReader::open(&file).unwrap().read_all().unwrap();
         assert_eq!(back, values);
+    }
+
+    #[test]
+    fn compressed_frames_roundtrip_and_shrink() {
+        let store = store();
+        let mut writer = SpillWriter::create(store.fresh_path(), true).unwrap();
+        let records: Vec<(u64, u64)> = (0..20_000u64).map(|i| (i, i % 7)).collect();
+        for r in &records {
+            writer.write(r).unwrap();
+        }
+        let file = writer.finish().unwrap();
+        assert_eq!(file.count, records.len());
+        assert!(file.compressed);
+        assert!(
+            file.disk_bytes < file.bytes / 2,
+            "sequential frames must compress: {} disk vs {} raw",
+            file.disk_bytes,
+            file.bytes
+        );
+        let back: Vec<(u64, u64)> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn compressed_incompressible_data_bounded() {
+        let store = store();
+        let mut writer = SpillWriter::create(store.fresh_path(), true).unwrap();
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let records: Vec<u64> = (0..5000)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state
+            })
+            .collect();
+        for r in &records {
+            writer.write(r).unwrap();
+        }
+        let file = writer.finish().unwrap();
+        // Stored-raw fallback bounds the expansion to block framing plus
+        // the literal-run overhead of blocks that compressed marginally.
+        assert!(file.disk_bytes <= file.bytes + file.bytes / 16 + 64);
+        let back: Vec<u64> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn columnar_roundtrip_without_frames() {
+        let store = store();
+        let records: Vec<(u64, (u32, f64))> =
+            (0..700u64).map(|i| (i, (i as u32 * 3, i as f64 * 0.25 - 10.0))).collect();
+        let kinds = <(u64, (u32, f64))>::column_kinds().unwrap();
+        let file = spill_columns(store.fresh_path(), false, &records, &kinds).unwrap();
+        assert!(file.columnar);
+        assert_eq!(file.count, 700);
+        // 700 rows → 3 blocks (256 + 256 + 188), 20 bytes/row + 4/block.
+        let blocks = 700usize.div_ceil(COLUMN_BLOCK_ROWS) as u64;
+        assert_eq!(file.bytes, blocks * 4 + 700 * 20);
+        assert_eq!(file.disk_bytes, file.bytes);
+        let back: Vec<(u64, (u32, f64))> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn columnar_compressed_roundtrip() {
+        let store = store();
+        let records: Vec<(u64, f64)> = (0..10_000u64).map(|i| (i, (i % 10) as f64)).collect();
+        let kinds = <(u64, f64)>::column_kinds().unwrap();
+        let file = spill_columns(store.fresh_path(), true, &records, &kinds).unwrap();
+        assert!(file.columnar && file.compressed);
+        assert!(
+            file.disk_bytes < file.bytes / 2,
+            "sequential columns must compress: {} disk vs {} raw",
+            file.disk_bytes,
+            file.bytes
+        );
+        let back: Vec<(u64, f64)> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert_eq!(back, records);
+    }
+
+    #[test]
+    fn columnar_streaming_preserves_float_bits() {
+        let store = store();
+        let specials = [0.0f64, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE];
+        let records: Vec<f64> = (0..600).map(|i| specials[i % specials.len()]).collect();
+        let kinds = f64::column_kinds().unwrap();
+        let file = spill_columns(store.fresh_path(), false, &records, &kinds).unwrap();
+        let mut reader: SpillReader<f64> = SpillReader::open(&file).unwrap();
+        for expected in &records {
+            let got = reader.next_record().unwrap().unwrap();
+            assert_eq!(got.to_bits(), expected.to_bits());
+        }
+        assert_eq!(reader.next_record().unwrap(), None);
+    }
+
+    #[test]
+    fn empty_columnar_file() {
+        let store = store();
+        let kinds = u64::column_kinds().unwrap();
+        let file = spill_columns(store.fresh_path(), false, &[] as &[u64], &kinds).unwrap();
+        assert_eq!(file.count, 0);
+        assert_eq!(file.bytes, 0);
+        let back: Vec<u64> = SpillReader::open(&file).unwrap().read_all().unwrap();
+        assert!(back.is_empty());
     }
 }

@@ -5,6 +5,11 @@ use std::fs;
 use submod_dataflow::{DataflowError, MemoryBudget, Pipeline};
 
 /// Creates a pipeline whose spill files live in a directory we control.
+///
+/// Fusion is disabled so transforms materialize (and spill) eagerly —
+/// these tests inject corruption between a transform and its read-back,
+/// which requires the spill files to exist up front. The fused read path
+/// is covered by `fused_chain_surfaces_spill_errors` below.
 fn pipeline_with_spill_dir(tag: &str) -> (Pipeline, std::path::PathBuf) {
     let dir = std::env::temp_dir().join(format!("submod-failure-{}-{tag}", std::process::id()));
     fs::create_dir_all(&dir).unwrap();
@@ -12,6 +17,7 @@ fn pipeline_with_spill_dir(tag: &str) -> (Pipeline, std::path::PathBuf) {
         .workers(2)
         .memory_budget(MemoryBudget::bytes(256))
         .spill_dir(&dir)
+        .fusion(false)
         .build()
         .unwrap();
     (pipeline, dir)
@@ -90,6 +96,35 @@ fn errors_propagate_through_downstream_transforms() {
     assert!(pc.map(|x| x).is_err());
     let grouped = pc.map(|x| (x % 10, x)).and_then(|kv| kv.group_by_key());
     assert!(grouped.is_err());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fused_chain_surfaces_spill_errors() {
+    // With fusion on, a deferred chain streams source shards at the
+    // barrier — corruption of a spilled *source* must still surface as an
+    // error from the barrier, not from the (deferred) transform calls.
+    let dir = std::env::temp_dir().join(format!("submod-failure-{}-fused", std::process::id()));
+    fs::create_dir_all(&dir).unwrap();
+    let pipeline = Pipeline::builder()
+        .workers(2)
+        .memory_budget(MemoryBudget::bytes(256))
+        .spill_dir(&dir)
+        .fusion(true)
+        .build()
+        .unwrap();
+    let source = pipeline.generate(2000u64, |i| i).unwrap();
+    let files = spill_files(&dir);
+    assert!(!files.is_empty(), "tiny budget must have spilled the source");
+    for f in &files {
+        let data = fs::read(f).unwrap();
+        fs::write(f, &data[..data.len() / 2]).unwrap();
+    }
+    // Deferred transforms succeed (nothing executes yet)...
+    let chained = source.map(|x| x + 1).unwrap().filter(|&x| x > 0).unwrap();
+    // ...but the barrier reads the truncated files and reports it.
+    let err = chained.collect().unwrap_err();
+    assert!(matches!(err, DataflowError::Io { .. } | DataflowError::Codec { .. }), "{err}");
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -4,7 +4,26 @@
 
 use proptest::prelude::*;
 use std::collections::HashMap;
-use submod_dataflow::{Either2, Either3, MemoryBudget, Pipeline, Record};
+use submod_dataflow::{Either2, Either3, MemoryBudget, PCollection, Pipeline, Record};
+
+/// Applies a random operator chain (maps, filters, flat_maps — all
+/// deferrable) to a collection; the same chain must produce bitwise
+/// identical results whether the stages fuse or run eagerly.
+fn apply_chain(source: &PCollection<u64>, ops: &[u32]) -> PCollection<u64> {
+    let mut current = source.clone();
+    for (i, &op) in ops.iter().enumerate() {
+        let salt = i as u64;
+        current = match op % 4 {
+            0 => current.map(move |x| x.wrapping_mul(0x9E37_79B9).rotate_left(7) ^ salt).unwrap(),
+            1 => current.filter(move |&x| x % 3 != salt % 3).unwrap(),
+            2 => current
+                .flat_map(move |x| if x % 5 == 0 { vec![x, x ^ 0xABCD] } else { vec![x] })
+                .unwrap(),
+            _ => current.map(move |x| x ^ (0x5A5A + salt)).unwrap(),
+        };
+    }
+    current
+}
 
 fn roundtrip<T: Record + PartialEq + std::fmt::Debug>(value: &T) -> Result<(), TestCaseError> {
     let mut buf = Vec::new();
@@ -333,7 +352,7 @@ proptest! {
         for workers in [1usize, 4] {
             let pipeline = Pipeline::new(workers).unwrap();
             let pc = pipeline.from_vec(dedup.clone());
-            let mut b = pc.sample_bernoulli(seed, |&x| x, |_| p).unwrap().collect().unwrap();
+            let mut b = pc.sample_bernoulli(seed, |&x| x, move |_| p).unwrap().collect().unwrap();
             b.sort_unstable();
             bernoulli_runs.push(b);
             reservoir_runs.push(
@@ -378,6 +397,60 @@ proptest! {
             let got = pc.kth_largest(k as u64).unwrap();
             prop_assert_eq!(got.to_bits(), sorted[k - 1].to_bits(), "k = {}", k);
         }
+    }
+
+    /// Operator fusion is invisible: any random deferrable chain yields
+    /// bitwise identical collections with fusion on and off, under any
+    /// worker count and with or without a spilling budget.
+    #[test]
+    fn fusion_on_and_off_agree_on_random_chains(
+        data in proptest::collection::vec(any::<u64>(), 0..300),
+        ops in proptest::collection::vec(0u32..4, 1..8),
+        workers in 1usize..6,
+        tiny_budget in any::<bool>(),
+    ) {
+        let build = |fusion: bool| {
+            let mut b = Pipeline::builder().workers(workers).fusion(fusion);
+            if tiny_budget {
+                b = b.memory_budget(MemoryBudget::bytes(256));
+            }
+            b.build().unwrap()
+        };
+        let fused_pipeline = build(true);
+        let eager_pipeline = build(false);
+        let fused = apply_chain(&fused_pipeline.from_vec(data.clone()), &ops);
+        let eager = apply_chain(&eager_pipeline.from_vec(data.clone()), &ops);
+        prop_assert_eq!(fused.collect().unwrap(), eager.collect().unwrap());
+        if !data.is_empty() {
+            prop_assert!(fused_pipeline.metrics().stages_fused > 0, "chain did not fuse");
+        }
+        prop_assert_eq!(eager_pipeline.metrics().stages_fused, 0u64);
+    }
+
+    /// Fused chains feed shuffles with the exact same contents the eager
+    /// path produces: group_by_key downstream of a random chain matches
+    /// group for group, value order included.
+    #[test]
+    fn fusion_preserves_shuffle_contents(
+        data in proptest::collection::vec(any::<u64>(), 0..250),
+        ops in proptest::collection::vec(0u32..4, 1..6),
+        workers in 1usize..5,
+    ) {
+        let mut grouped_runs = Vec::new();
+        for fusion in [true, false] {
+            let pipeline = Pipeline::builder().workers(workers).fusion(fusion).build().unwrap();
+            let chained = apply_chain(&pipeline.from_vec(data.clone()), &ops);
+            let mut groups = chained
+                .map(|x| (x % 8, x))
+                .unwrap()
+                .group_by_key()
+                .unwrap()
+                .collect()
+                .unwrap();
+            groups.sort_by_key(|&(k, _)| k);
+            grouped_runs.push(groups);
+        }
+        prop_assert_eq!(&grouped_runs[0], &grouped_runs[1]);
     }
 
     /// co_group_2 is a full outer join: every key from either side appears

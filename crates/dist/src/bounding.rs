@@ -440,14 +440,21 @@ struct DataflowBackend<'a> {
     mean_utility: f64,
 }
 
+/// One engine-resident bound-table row:
+/// `(node, umin, umax, uexp, utility)`.
+type BoundRow = (u64, f64, f64, f64, f64);
+
 impl DataflowBackend<'_> {
-    /// The engine-resident bound table for one pass.
+    /// The engine-resident bound table for one pass. Rows carry the
+    /// node's utility as a fifth column so the downstream sample and
+    /// candidate filters are capture-free (and hence fuse onto the
+    /// table): `(node, umin, umax, uexp, utility)`.
     fn derived_table(
         &self,
         state: &State,
         undecided: &[NodeId],
         spec: PassSpec,
-    ) -> Result<PCollection<(u64, f64, f64, f64)>, DistError> {
+    ) -> Result<PCollection<BoundRow>, DistError> {
         let n = self.graph.num_nodes();
         let included = self.pipeline.broadcast_words(state.included.words().to_vec(), n);
         let excluded = self.pipeline.broadcast_words(state.excluded.words().to_vec(), n);
@@ -455,7 +462,9 @@ impl DataflowBackend<'_> {
         let objective = self.objective;
         let source =
             self.pipeline.generate(undecided.len() as u64, move |i| undecided[i as usize].raw())?;
-        let table = source.map(move |v| {
+        // Eager: `derive_node` borrows the graph and objective, and the
+        // table is the pass's materialization point anyway.
+        let table = source.map_eager(move |v| {
             let d = derive_node(
                 graph,
                 objective,
@@ -464,7 +473,7 @@ impl DataflowBackend<'_> {
                 |w| included.contains(w),
                 |w| !excluded.contains(w),
             );
-            (d.node, d.umin, d.umax, d.uexp)
+            (d.node, d.umin, d.umax, d.uexp, objective.utility(NodeId::new(d.node)))
         })?;
         Ok(table)
     }
@@ -478,7 +487,7 @@ impl PassBackend for DataflowBackend<'_> {
         spec: PassSpec,
     ) -> Result<PassResult, DistError> {
         let table = self.derived_table(state, undecided, spec)?;
-        let unpack = |(node, umin, umax, uexp): &(u64, f64, f64, f64)| Derived {
+        let unpack = |(node, umin, umax, uexp, _u): &(u64, f64, f64, f64, f64)| Derived {
             node: *node,
             umin: *umin,
             umax: *umax,
@@ -486,19 +495,12 @@ impl PassBackend for DataflowBackend<'_> {
         };
 
         // Threshold sample: an engine-side filter with the shared coin.
+        // The row carries its utility, so the filter captures only `Copy`
+        // values and fuses onto the table.
         let mode = self.mode;
         let mean_utility = self.mean_utility;
-        let objective = self.objective;
-        let sample = table.filter(move |r| {
-            in_sample(
-                &mode,
-                spec.pass,
-                spec.phase,
-                r.0,
-                objective.utility(NodeId::new(r.0)),
-                mean_utility,
-            )
-        })?;
+        let sample = table
+            .filter(move |r| in_sample(&mode, spec.pass, spec.phase, r.0, r.4, mean_utility))?;
         let stats = sample.map(move |r| spec.sample_stat(&unpack(&r)))?;
         let sample_len = stats.count()? as usize;
         let index = threshold_index(&self.mode, spec.k_effective, sample_len);

@@ -149,6 +149,7 @@ pub struct DistGreedyConfig {
     pub(crate) seed: u64,
     pub(crate) schedule: DeltaSchedule,
     pub(crate) adversarial_first_round: Option<Vec<NodeId>>,
+    pub(crate) winner_batch: usize,
 }
 
 impl DistGreedyConfig {
@@ -171,6 +172,7 @@ impl DistGreedyConfig {
             seed: 0,
             schedule: DeltaSchedule::default_schedule(),
             adversarial_first_round: None,
+            winner_batch: 0,
         })
     }
 
@@ -199,6 +201,18 @@ impl DistGreedyConfig {
     /// one machine.
     pub fn adversarial_first_round(mut self, solution: Vec<NodeId>) -> Self {
         self.adversarial_first_round = Some(solution);
+        self
+    }
+
+    /// Enables the dataflow driver's threshold-filtered multi-winner
+    /// passes: each engine pass certifies up to `batch` winners at once
+    /// instead of one per machine per pass, cutting the pass count by up
+    /// to `batch / machines` while selecting the **identical** subset
+    /// (invalidated pops fall back to further passes). `0` (the default)
+    /// keeps the one-pop-per-step lockstep. The in-memory driver ignores
+    /// the setting — its bulk path already runs machines to completion.
+    pub fn winner_batch(mut self, batch: usize) -> Self {
+        self.winner_batch = batch;
         self
     }
 

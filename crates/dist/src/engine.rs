@@ -355,8 +355,41 @@ pub(crate) struct DataflowGreedyBackend<'a> {
     graph: &'a SimilarityGraph,
     objective: &'a PairwiseObjective,
     pool: PCollection<u64>,
-    table: Option<PCollection<(u64, (u64, f64))>>,
+    /// Driver-side pool length (maintained across phases so the round
+    /// loop never counts the engine-resident collection).
+    pool_len: usize,
+    table: Option<PCollection<ScoredRow>>,
     broadcast_base: u64,
+    /// Multi-winner batch size for [`Self::phase_bulk`]; 0 disables the
+    /// batched mode and phases run the lockstep step loop.
+    winner_batch: usize,
+}
+
+/// One scored-pool row: `(machine, (node, priority))`.
+type ScoredRow = (u64, (u64, f64));
+
+/// One winner shipped to workers by the batched update: the machine, the
+/// popped node, and the winner's adjacency sorted by neighbor id (so the
+/// discount lookup is a binary search, like the in-memory bucket walk).
+type ShippedWinner = (u64, u64, Vec<(u64, f32)>);
+
+/// Collects each winner's adjacency into the owned, sorted form the
+/// engine-side update closure binary-searches. Owning the rows is what
+/// makes the update `'static` (and hence fusable) — the graph itself
+/// never crosses into the closure.
+fn ship_winners(
+    graph: &SimilarityGraph,
+    winners: impl IntoIterator<Item = (u64, u64)>,
+) -> Vec<ShippedWinner> {
+    winners
+        .into_iter()
+        .map(|(machine, node)| {
+            let mut adj: Vec<(u64, f32)> =
+                graph.edges(NodeId::new(node)).map(|(x, s)| (x.raw(), s)).collect();
+            adj.sort_unstable_by_key(|&(x, _)| x);
+            (machine, node, adj)
+        })
+        .collect()
 }
 
 impl<'a> DataflowGreedyBackend<'a> {
@@ -366,22 +399,76 @@ impl<'a> DataflowGreedyBackend<'a> {
         objective: &'a PairwiseObjective,
         ground: &[NodeId],
     ) -> Self {
-        let pool = pipeline.from_vec(canonical_pool(ground));
+        let ids = canonical_pool(ground);
+        let pool_len = ids.len();
+        let pool = pipeline.from_vec(ids);
         let broadcast_base = pipeline.metrics().bytes_broadcast;
-        DataflowGreedyBackend { pipeline, graph, objective, pool, table: None, broadcast_base }
+        DataflowGreedyBackend {
+            pipeline,
+            graph,
+            objective,
+            pool,
+            pool_len,
+            table: None,
+            broadcast_base,
+            winner_batch: 0,
+        }
+    }
+
+    /// Enables the threshold-filtered multi-winner mode: each engine pass
+    /// collects up to `batch` certified winners instead of one per
+    /// machine. 0 (the default) keeps the one-pop-per-step lockstep.
+    pub(crate) fn with_winner_batch(mut self, batch: usize) -> Self {
+        self.winner_batch = batch;
+        self
+    }
+
+    /// Applies one group of certified winners to the engine-resident
+    /// table: every winner leaves its machine's pool, and each surviving
+    /// same-machine candidate receives the winners' discounts **in pop
+    /// order** — the same subtraction sequence, in the same order, as the
+    /// per-step updates, so intermediate priorities stay bit-identical.
+    fn apply_winners(
+        &self,
+        table: &PCollection<ScoredRow>,
+        shipped: Vec<ShippedWinner>,
+    ) -> Result<PCollection<ScoredRow>, DistError> {
+        // Meter what a real deployment would broadcast: the winner rows.
+        let _metered =
+            self.pipeline.broadcast(shipped.iter().map(|&(m, v, _)| (m, v)).collect::<Vec<_>>());
+        let shipped = std::sync::Arc::new(shipped);
+        let ratio = self.objective.ratio();
+        let table = table.flat_map(move |(machine, (v, p))| {
+            let mut p = p;
+            for &(m, winner, ref adj) in shipped.iter() {
+                if m != machine {
+                    continue;
+                }
+                if v == winner {
+                    return None; // popped: the winner leaves the pool
+                }
+                if let Ok(e) = adj.binary_search_by_key(&v, |&(x, _)| x) {
+                    p -= ratio * f64::from(adj[e].1);
+                }
+            }
+            Some((machine, (v, p)))
+        })?;
+        Ok(table)
     }
 }
 
 impl MachineGreedyBackend for DataflowGreedyBackend<'_> {
     fn pool_len(&self) -> usize {
-        self.pool.num_records() as usize
+        self.pool_len
     }
 
     fn begin_phase(&mut self, keying: MachineKeying, _machines: usize) -> Result<u64, DistError> {
         let objective = self.objective;
+        // Eager map: the phase-persistent table is materialized up front
+        // anyway, and `objective` stays borrowed on the driver.
         let table = self
             .pool
-            .map(move |v| (keying.machine_of(v), (v, objective.utility(NodeId::new(v)))))?;
+            .map_eager(move |v| (keying.machine_of(v), (v, objective.utility(NodeId::new(v)))))?;
         self.table = Some(table);
         Ok(0)
     }
@@ -389,30 +476,15 @@ impl MachineGreedyBackend for DataflowGreedyBackend<'_> {
     fn step(&mut self, previous: &[(u64, u64)]) -> Result<StepWinners, DistError> {
         let mut table = self.table.clone().expect("step called outside a phase");
         if !previous.is_empty() {
-            // Broadcast the winners and apply the decrease wave
-            // shard-locally: the winner leaves its machine's pool, and
-            // every surviving same-machine candidate adjacent to it
-            // loses `(β/α)·s(winner, v)` — the same single subtraction,
-            // with the winner-side edge weight, as the queue update.
-            let winners = self.pipeline.broadcast(previous.to_vec());
-            let graph = self.graph;
-            let ratio = self.objective.ratio();
-            table = table.flat_map(move |(machine, (v, p))| {
-                match winners.get().binary_search_by_key(&machine, |&(m, _)| m) {
-                    Err(_) => Some((machine, (v, p))),
-                    Ok(slot) => {
-                        let winner = winners.get()[slot].1;
-                        if v == winner {
-                            None // popped: the winner leaves the pool
-                        } else {
-                            match graph.edge_weight(NodeId::new(winner), NodeId::new(v)) {
-                                Some(s) => Some((machine, (v, p - ratio * f64::from(s)))),
-                                None => Some((machine, (v, p))),
-                            }
-                        }
-                    }
-                }
-            })?;
+            // Ship the winners with their adjacency and apply the
+            // decrease wave shard-locally: the winner leaves its
+            // machine's pool, and every surviving same-machine candidate
+            // adjacent to it loses `(β/α)·s(winner, v)` — the same single
+            // subtraction, with the winner-side edge weight, as the queue
+            // update. The update fuses with the argmax scan below into
+            // one pass over the table.
+            table =
+                self.apply_winners(&table, ship_winners(self.graph, previous.iter().copied()))?;
             self.table = Some(table.clone());
         }
         let mut winners: Vec<(u64, u64, f64)> = table
@@ -426,10 +498,152 @@ impl MachineGreedyBackend for DataflowGreedyBackend<'_> {
         Ok(StepWinners { winners, driver_bytes })
     }
 
+    fn phase_bulk(&mut self, n: usize, quota: usize) -> Result<Option<PhaseOutcome>, DistError> {
+        if self.winner_batch == 0 {
+            return Ok(None);
+        }
+        let mut table = self.table.clone().expect("phase_bulk called outside a phase");
+        let ratio = self.objective.ratio();
+        // Per-machine pop sequences (machine id → winners in pop order),
+        // reassembled step-major at the end: machine `m`'s `t`-th pop *is*
+        // its step-`t` winner, exactly like the in-memory bulk path.
+        let mut sequences: std::collections::BTreeMap<u64, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        let mut done: Vec<u64> = Vec::new(); // machines at quota, sorted
+        let mut driver_bytes = 0u64;
+        if quota > 0 {
+            loop {
+                let remaining = table.count()?;
+                if remaining == 0 {
+                    break;
+                }
+                // τ = the batch_k-th largest priority across all live
+                // machines: every row ≥ τ reaches the driver, everything
+                // below τ stays engine-resident and can only decrease.
+                let batch_k = (self.winner_batch as u64).min(remaining);
+                let tau = table.map(|(_, (_, p))| p)?.kth_largest(batch_k)?;
+                let mut candidates: Vec<(u64, u64, f64)> = table
+                    .filter(move |&(_, (_, p))| p >= tau)?
+                    .map(|(m, (v, p))| (m, v, p))?
+                    .collect()?;
+                driver_bytes += (candidates.len() * size_of::<(u64, u64, f64)>()) as u64;
+                // When the whole table came back, the replay is complete:
+                // no engine-side rows exist to invalidate a pop.
+                let complete = candidates.len() as u64 == remaining;
+                candidates.sort_unstable_by_key(|&(m, v, _)| (m, v));
+                // Driver replay, machine by machine: pop the best
+                // remaining candidate in the shared argmax order; a pop is
+                // certified while its corrected priority stays ≥ τ (every
+                // uncollected row started < τ and only decreases), and the
+                // first pop of a machine is always certified. Discounts
+                // apply sequentially in pop order — the same subtraction
+                // sequence the engine-side update then replays.
+                let mut batch_winners: Vec<(u64, u64)> = Vec::new();
+                let mut newly_done: Vec<u64> = Vec::new();
+                let mut slot = 0usize;
+                while slot < candidates.len() {
+                    let machine = candidates[slot].0;
+                    let end = candidates[slot..]
+                        .iter()
+                        .position(|&(m, _, _)| m != machine)
+                        .map_or(candidates.len(), |i| slot + i);
+                    let mut local: Vec<(u64, f64)> =
+                        candidates[slot..end].iter().map(|&(_, v, p)| (v, p)).collect();
+                    slot = end;
+                    let pops = sequences.entry(machine).or_default();
+                    while pops.len() < quota && !local.is_empty() {
+                        let mut best = 0usize;
+                        for i in 1..local.len() {
+                            if submod_dataflow::argmax_prefers(local[best], local[i]) {
+                                best = i;
+                            }
+                        }
+                        let (winner, priority) = local.swap_remove(best);
+                        if !complete && priority < tau {
+                            break; // invalidated: an engine-side row may now lead
+                        }
+                        pops.push(winner);
+                        batch_winners.push((machine, winner));
+                        for entry in &mut local {
+                            if let Some(s) =
+                                self.graph.edge_weight(NodeId::new(winner), NodeId::new(entry.0))
+                            {
+                                entry.1 -= ratio * f64::from(s);
+                            }
+                        }
+                    }
+                    if pops.len() == quota {
+                        newly_done.push(machine);
+                    }
+                }
+                if batch_winners.is_empty() {
+                    // Defensive fallback: certify one true argmax per
+                    // machine with a single per-key top-1 pass, so the
+                    // loop always advances.
+                    let mut rows: Vec<(u64, (u64, f64))> = table.argmax_per_key()?.collect()?;
+                    rows.sort_unstable_by_key(|&(m, _)| m);
+                    driver_bytes += (rows.len() * size_of::<(u64, u64, f64)>()) as u64;
+                    for (machine, (node, _)) in rows {
+                        let pops = sequences.entry(machine).or_default();
+                        if pops.len() < quota {
+                            pops.push(node);
+                            batch_winners.push((machine, node));
+                        }
+                        if pops.len() == quota {
+                            newly_done.push(machine);
+                        }
+                    }
+                    if batch_winners.is_empty() {
+                        break; // every machine with rows is at quota
+                    }
+                }
+                // One engine pass applies the whole batch: winners leave,
+                // survivors take the discounts in pop order
+                // (`batch_winners` is built machine-ascending with pops in
+                // order, matching the replay's subtraction sequence).
+                table =
+                    self.apply_winners(&table, ship_winners(self.graph, batch_winners.clone()))?;
+                if !newly_done.is_empty() {
+                    // Drop rows of machines that hit quota so they stop
+                    // competing for τ. The machine list is broadcast-sized.
+                    done.extend(newly_done);
+                    done.sort_unstable();
+                    let gone = done.clone();
+                    table = table.filter(move |&(m, _)| gone.binary_search(&m).is_err())?;
+                }
+                self.table = Some(table.clone());
+            }
+        }
+        // Step-major reassembly: step t collects the t-th pop of every
+        // machine, ascending by machine — identical to the lockstep order.
+        let mut outcome = PhaseOutcome {
+            selected: Vec::new(),
+            members: NodeSet::new(n),
+            steps: 0,
+            peak_step_winners: 0,
+            driver_bytes,
+        };
+        let longest = sequences.values().map(Vec::len).max().unwrap_or(0);
+        for step in 0..longest {
+            let mut step_winners = 0usize;
+            for pops in sequences.values() {
+                if let Some(&node) = pops.get(step) {
+                    outcome.selected.push(NodeId::new(node));
+                    outcome.members.insert(NodeId::new(node));
+                    step_winners += 1;
+                }
+            }
+            outcome.steps += 1;
+            outcome.peak_step_winners = outcome.peak_step_winners.max(step_winners);
+        }
+        Ok(Some(outcome))
+    }
+
     fn end_phase(&mut self, survivors: &NodeSet) -> Result<(), DistError> {
         let keep =
             self.pipeline.broadcast_words(survivors.words().to_vec(), self.graph.num_nodes());
         self.pool = self.pool.filter(move |&v| keep.contains(v))?;
+        self.pool_len = self.pool.count()? as usize;
         self.table = None;
         Ok(())
     }
@@ -555,6 +769,27 @@ mod tests {
             let via_df = run_phase(&mut df, 30, quota).unwrap();
             assert_eq!(via_bulk.selected, via_df.selected, "quota {quota}");
             assert_eq!(via_bulk.steps, via_df.steps);
+        }
+    }
+
+    #[test]
+    fn batched_phase_matches_lockstep_exactly() {
+        let (graph, objective) = instance(30);
+        let ground = ground(30);
+        let keying = || MachineKeying::Hash { seed: 7, machines: 4 };
+        for (batch, quota) in [(1usize, 3usize), (2, 8), (3, 0), (8, 8), (64, 50)] {
+            let pipeline = Pipeline::new(3).unwrap();
+            let mut lock = DataflowGreedyBackend::new(&pipeline, &graph, &objective, &ground);
+            lock.begin_phase(keying(), 4).unwrap();
+            let via_steps = run_phase(&mut lock, 30, quota).unwrap();
+            let pipeline = Pipeline::new(3).unwrap();
+            let mut batched = DataflowGreedyBackend::new(&pipeline, &graph, &objective, &ground)
+                .with_winner_batch(batch);
+            batched.begin_phase(keying(), 4).unwrap();
+            let via_batch = run_phase(&mut batched, 30, quota).unwrap();
+            assert_eq!(via_batch.selected, via_steps.selected, "batch {batch} quota {quota}");
+            assert_eq!(via_batch.steps, via_steps.steps, "batch {batch} quota {quota}");
+            assert_eq!(via_batch.peak_step_winners, via_steps.peak_step_winners);
         }
     }
 

@@ -381,7 +381,8 @@ pub fn distributed_greedy_dataflow_with_stats(
     config: &DistGreedyConfig,
 ) -> Result<(DistGreedyReport, GreedyStats), DistError> {
     validate(graph, objective, ground, k)?;
-    let mut backend = DataflowGreedyBackend::new(pipeline, graph, objective, ground);
+    let mut backend = DataflowGreedyBackend::new(pipeline, graph, objective, ground)
+        .with_winner_batch(config.winner_batch);
     run_multiround(graph, objective, ground, k, config, &mut backend)
 }
 

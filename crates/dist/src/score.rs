@@ -62,7 +62,7 @@ pub fn score_dataflow(
     // Pair term: fan out each member's adjacency keyed by the neighbor,
     // keep edges whose far endpoint is also in the subset, and sum. Every
     // undirected edge inside S appears once per direction.
-    let fanned: PCollection<(u64, f64)> = distinct.flat_map(|v| {
+    let fanned: PCollection<(u64, f64)> = distinct.flat_map_eager(|v| {
         graph.edges(NodeId::new(v)).map(|(w, s)| (w.raw(), f64::from(s))).collect::<Vec<_>>()
     })?;
     let keyed_members: PCollection<(u64, ())> = distinct.map(|v| (v, ()))?;

@@ -200,6 +200,43 @@ fn memory_pressure_does_not_change_the_selection() {
 }
 
 #[test]
+fn batched_winner_passes_are_identical_to_lockstep() {
+    // The multi-winner engine passes (ISSUE 8) must select the identical
+    // subset as the one-pop-per-step lockstep and the in-memory driver,
+    // at every batch size and thread count.
+    let (graph, objective) = clustered_instance(4, 8, 33);
+    let n = graph.num_nodes();
+    let lockstep_config = DistGreedyConfig::new(3, 2).unwrap().seed(19).adaptive(true);
+    let lockstep =
+        assert_drivers_identical(&graph, &objective, &ground(n), n / 4, &lockstep_config, 3);
+    for batch in [1usize, 2, 3, 8, 64] {
+        let config = lockstep_config.clone().winner_batch(batch);
+        let batched = assert_drivers_identical(&graph, &objective, &ground(n), n / 4, &config, 3);
+        assert_eq!(batched, lockstep, "winner_batch {batch} changed the outcome");
+    }
+}
+
+#[test]
+fn batched_winner_invalidation_falls_back_identically() {
+    // Forced invalidation: the degenerate clone groups have 0.75-weight
+    // intra-group edges and identical utilities, so the moment a clone is
+    // popped every other candidate in its group drops far below the batch
+    // threshold τ. With small batches nearly every replay certifies one
+    // pop and invalidates the rest, exercising the fallback passes — and
+    // the selection still must not move by a bit.
+    let (graph, objective) = degenerate_instance(5, 6);
+    let n = graph.num_nodes();
+    let lockstep_config = DistGreedyConfig::new(2, 2).unwrap().seed(7);
+    let lockstep =
+        assert_drivers_identical(&graph, &objective, &ground(n), n / 2, &lockstep_config, 3);
+    for batch in [1usize, 2, 4, 16] {
+        let config = lockstep_config.clone().winner_batch(batch);
+        let batched = assert_drivers_identical(&graph, &objective, &ground(n), n / 2, &config, 3);
+        assert_eq!(batched, lockstep, "winner_batch {batch} changed the outcome");
+    }
+}
+
+#[test]
 fn greedi_drivers_are_identical_across_threads() {
     let (graph, objective) = clustered_instance(4, 9, 17);
     for style in [PartitionStyle::Arbitrary, PartitionStyle::Random] {
@@ -266,6 +303,31 @@ proptest! {
         let k = (n / 3).max(1);
         let config = DistGreedyConfig::new(machines, rounds).expect("config").seed(seed);
         assert_drivers_identical(&graph, &objective, &ground(n), k, &config, 3);
+    }
+
+    /// Batched-winner passes under random shapes, batch sizes, and
+    /// configurations: bit-exact against the lockstep dataflow driver and
+    /// the in-memory driver at every thread count.
+    #[test]
+    fn batched_instances_are_identical(
+        clusters in 2usize..5,
+        per_cluster in 4usize..8,
+        seed in 0u64..200,
+        machines in 1usize..5,
+        rounds in 1usize..4,
+        batch in 1usize..24,
+    ) {
+        let (graph, objective) = clustered_instance(clusters, per_cluster, seed);
+        let n = graph.num_nodes();
+        let k = (n / 4).max(1);
+        let lockstep_config =
+            DistGreedyConfig::new(machines, rounds).expect("config").seed(seed);
+        let lockstep =
+            assert_drivers_identical(&graph, &objective, &ground(n), k, &lockstep_config, 3);
+        let batched_config = lockstep_config.winner_batch(batch);
+        let batched =
+            assert_drivers_identical(&graph, &objective, &ground(n), k, &batched_config, 3);
+        prop_assert_eq!(batched, lockstep);
     }
 
     /// GreeDi under random shapes and both partition styles.

@@ -27,6 +27,17 @@ fn env_threads() -> Option<usize> {
     })
 }
 
+/// Detected hardware parallelism, probed once. `available_parallelism`
+/// re-reads the cgroup quota files on every call on Linux — microseconds
+/// of file I/O that used to land on every region entry of every engine
+/// pass.
+static DETECTED_THREADS: OnceLock<usize> = OnceLock::new();
+
+fn detected_threads() -> usize {
+    *DETECTED_THREADS
+        .get_or_init(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+}
+
 /// The worker count the *next* parallel region entered from this thread
 /// will use. See the crate docs for the resolution order.
 pub fn current_num_threads() -> usize {
@@ -38,8 +49,7 @@ pub fn current_num_threads() -> usize {
     if global > 0 {
         return global;
     }
-    env_threads()
-        .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+    env_threads().unwrap_or_else(detected_threads)
 }
 
 /// Sets the process-wide worker count (`0` resets to the
