@@ -1,0 +1,71 @@
+//! The journaling overhead gate: the same distributed selection run
+//! plain and with the write-ahead journal (fresh WAL per iteration, so
+//! every round boundary pays its append + fsync) on one runner in one
+//! process. `bench-diff --journal-overhead` fails CI when the journaled
+//! path costs more than a few percent over the plain one.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::{Rng, SeedableRng};
+use submod_core::{GraphBuilder, NodeId, PairwiseObjective, SimilarityGraph};
+use submod_dist::{distributed_greedy, distributed_greedy_journaled, DistGreedyConfig};
+
+fn instance(n: usize, seed: u64) -> (SimilarityGraph, PairwiseObjective) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n as u64 {
+        for _ in 0..5 {
+            let w = rng.gen_range(0..n as u64);
+            if w != v {
+                b.add_undirected(v, w, rng.gen_range(0.01..1.0)).unwrap();
+            }
+        }
+    }
+    let graph = b.build();
+    let utilities: Vec<f32> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    (graph, PairwiseObjective::from_alpha(0.9, utilities).unwrap())
+}
+
+fn bench_journal_overhead(c: &mut Criterion) {
+    // Large enough that each round does realistic work: the journal
+    // appends + fsyncs a fixed handful of records per run (header, one
+    // per round, finish), so its cost is a constant that must be
+    // measured against real round runtimes, not toy ones.
+    let n = 20_000;
+    let (graph, objective) = instance(n, 7);
+    let ground: Vec<NodeId> = (0..n).map(NodeId::from_index).collect();
+    let k = n / 10;
+    let config = DistGreedyConfig::new(4, 4).unwrap().adaptive(true).seed(7);
+    // The WAL lives on tmpfs when available: the gate measures the cost
+    // of the journaling *code path* (serialization, frame checksums,
+    // write + sync calls per round), not the latency lottery of the CI
+    // runner's disk — a single slow physical fsync would dwarf the
+    // selection and make the gate meaningless.
+    let dir = if std::path::Path::new("/dev/shm").is_dir() {
+        std::path::PathBuf::from("/dev/shm")
+    } else {
+        std::env::temp_dir()
+    };
+    let wal = dir.join(format!("submod-journal-overhead-{}.wal", std::process::id()));
+
+    let mut group = c.benchmark_group("journal_overhead");
+    group.sample_size(10);
+    group.bench_function("selection_plain", |b| {
+        b.iter(|| black_box(distributed_greedy(&graph, &objective, &ground, k, &config).unwrap()))
+    });
+    group.bench_function("selection_journaled", |b| {
+        b.iter(|| {
+            // A fresh WAL each iteration: the measured cost is the full
+            // run-header + per-round append/fsync path, never a replay.
+            let _ = std::fs::remove_file(&wal);
+            black_box(
+                distributed_greedy_journaled(&graph, &objective, &ground, k, &config, &wal)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&wal);
+}
+
+criterion_group!(benches, bench_journal_overhead);
+criterion_main!(benches);

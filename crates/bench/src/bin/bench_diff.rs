@@ -19,6 +19,17 @@
 //! `benches/obs_overhead.rs`) and fails when either tracing mode costs
 //! more than the tolerance over the off path.
 //!
+//! `--journal-overhead` is the crash-safety gate: it compares
+//! `journal_overhead/selection_journaled` against
+//! `journal_overhead/selection_plain` *within one file* (both run in one
+//! process on one runner, see `benches/journal_overhead.rs`) and fails
+//! when write-ahead journaling costs more than the tolerance (default
+//! +5 %) over the plain selection:
+//!
+//! ```text
+//! cargo run -p submod-bench --bin bench-diff -- FILE --journal-overhead [--tolerance 0.05]
+//! ```
+//!
 //! `--dataflow-ratio` is the executor-overhead gate: within each file it
 //! computes the same-runner dataflow/in_memory mean-time ratios of the
 //! `bounding_executor_2k` and `greedy_executor_2k` groups (ratios are
@@ -121,6 +132,40 @@ fn trace_overhead_gate(entries: &BTreeMap<String, Entry>, tolerance: f64) -> Opt
     Some(ok)
 }
 
+/// The `--journal-overhead` gate: the journaled selection vs the plain
+/// one within one run. Returns `None` (exit 2) when the
+/// journal_overhead entries are missing.
+fn journal_overhead_gate(entries: &BTreeMap<String, Entry>, tolerance: f64) -> Option<bool> {
+    let get = |variant: &str| {
+        let key = format!("journal_overhead/selection_{variant}");
+        let entry = entries.get(&key);
+        if entry.is_none() {
+            eprintln!("error: `{key}` not found — run `cargo bench -p submod-bench` with CRITERION_OUTPUT_JSON set");
+        }
+        entry
+    };
+    let plain = get("plain")?;
+    let journaled = get("journaled")?;
+    let ratio = journaled.mean_ns / plain.mean_ns;
+    let ok = ratio <= 1.0 + tolerance;
+    println!(
+        "{:<45} {:>12} {:>12} {:>9}  verdict (tolerance +{:.1} % over plain)",
+        "journal mode",
+        "plain ns",
+        "journaled ns",
+        "ratio",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<45} {:>12.0} {:>12.0} {ratio:>8.3}x  {}",
+        "journal_overhead/selection_journaled",
+        plain.mean_ns,
+        journaled.mean_ns,
+        if ok { "ok" } else { "REGRESSION" }
+    );
+    Some(ok)
+}
+
 /// The same-runner executor pairs whose dataflow/in_memory ratio the
 /// `--dataflow-ratio` gate tracks.
 const RATIO_PAIRS: [(&str, &str); 3] = [
@@ -194,6 +239,7 @@ fn main() -> ExitCode {
     let mut positional = Vec::new();
     let mut tolerance = None;
     let mut trace_overhead = false;
+    let mut journal_overhead = false;
     let mut dataflow_ratio = false;
     let mut i = 0;
     while i < args.len() {
@@ -208,6 +254,8 @@ fn main() -> ExitCode {
             };
         } else if args[i] == "--trace-overhead" {
             trace_overhead = true;
+        } else if args[i] == "--journal-overhead" {
+            journal_overhead = true;
         } else if args[i] == "--dataflow-ratio" {
             dataflow_ratio = true;
         } else {
@@ -236,6 +284,25 @@ fn main() -> ExitCode {
             }
             Some(false) => {
                 eprintln!("\nFAILED: tracing overhead beyond +{:.1} %", tolerance * 100.0);
+                ExitCode::FAILURE
+            }
+            None => ExitCode::from(2),
+        };
+    }
+
+    if journal_overhead {
+        if positional.len() != 1 {
+            eprintln!("usage: bench-diff FILE --journal-overhead [--tolerance 0.05]");
+            return ExitCode::from(2);
+        }
+        let tolerance = tolerance.unwrap_or(0.05);
+        return match journal_overhead_gate(&parse_baselines(&read(&positional[0])), tolerance) {
+            Some(true) => {
+                println!("\njournaling overhead within +{:.1} % of plain", tolerance * 100.0);
+                ExitCode::SUCCESS
+            }
+            Some(false) => {
+                eprintln!("\nFAILED: journaling overhead beyond +{:.1} %", tolerance * 100.0);
                 ExitCode::FAILURE
             }
             None => ExitCode::from(2),
@@ -405,6 +472,35 @@ mod tests {
         entries.remove("obs_overhead/selection_full");
         assert_eq!(trace_overhead_gate(&entries, 0.03), None);
         assert_eq!(trace_overhead_gate(&BTreeMap::new(), 0.03), None);
+    }
+
+    fn journal_entries(plain: f64, journaled: f64) -> BTreeMap<String, Entry> {
+        [("plain", plain), ("journaled", journaled)]
+            .into_iter()
+            .map(|(variant, mean_ns)| {
+                (format!("journal_overhead/selection_{variant}"), Entry { mean_ns })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn journal_overhead_gate_passes_within_tolerance() {
+        let entries = journal_entries(1000.0, 1040.0);
+        assert_eq!(journal_overhead_gate(&entries, 0.05), Some(true));
+    }
+
+    #[test]
+    fn journal_overhead_gate_fails_beyond_tolerance() {
+        let entries = journal_entries(1000.0, 1100.0);
+        assert_eq!(journal_overhead_gate(&entries, 0.05), Some(false));
+    }
+
+    #[test]
+    fn journal_overhead_gate_requires_both_entries() {
+        let mut entries = journal_entries(1000.0, 1010.0);
+        entries.remove("journal_overhead/selection_journaled");
+        assert_eq!(journal_overhead_gate(&entries, 0.05), None);
+        assert_eq!(journal_overhead_gate(&BTreeMap::new(), 0.05), None);
     }
 
     fn executor_entries(pairs: &[(&str, f64)]) -> BTreeMap<String, Entry> {

@@ -30,6 +30,12 @@ pub struct BenchCtx {
     pub report_memory: bool,
     /// Graph backing selected with `--graph-store mem|mmap`.
     pub graph_store: GraphStoreMode,
+    /// Directory journaled experiments write their WALs under
+    /// (`--journal DIR`); `None` runs everything unjournaled.
+    pub journal: Option<PathBuf>,
+    /// Resume from existing journals instead of starting fresh
+    /// (`--resume`; only meaningful with `--journal`).
+    pub resume: bool,
 }
 
 impl BenchCtx {
@@ -73,6 +79,23 @@ impl BenchCtx {
         } else {
             vec![0.1, 0.5, 0.8]
         }
+    }
+
+    /// The write-ahead-journal path for one journaled selection, when
+    /// `--journal DIR` was given. Each selection gets its own
+    /// `<dir>/<tag>.wal` (the run header refuses cross-configuration
+    /// splices, so journals are never shared between selections). A
+    /// fresh run removes any stale journal first; with `--resume` an
+    /// existing journal is replayed to its last complete round boundary
+    /// and the run continues from there, bit-identically.
+    pub fn journal_path(&self, tag: &str) -> Option<PathBuf> {
+        let dir = self.journal.as_ref()?;
+        std::fs::create_dir_all(dir).expect("create journal directory");
+        let path = dir.join(format!("{tag}.wal"));
+        if !self.resume {
+            let _ = std::fs::remove_file(&path);
+        }
+        Some(path)
     }
 
     /// Rebases `graph` onto the backing selected with `--graph-store`.
@@ -221,6 +244,8 @@ mod tests {
             quick: false,
             report_memory: false,
             graph_store: GraphStoreMode::Mem,
+            journal: None,
+            resume: false,
         };
         let quick = BenchCtx {
             out_dir: "r".into(),
@@ -228,6 +253,8 @@ mod tests {
             quick: true,
             report_memory: false,
             graph_store: GraphStoreMode::Mem,
+            journal: None,
+            resume: false,
         };
         assert!(quick.grid_axis().len() < full.grid_axis().len());
         assert!(quick.alphas().len() < full.alphas().len());

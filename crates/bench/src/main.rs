@@ -49,6 +49,18 @@
 //!                SUBMOD_FUSION). `off` runs every deferrable stage
 //!                eagerly — results are bitwise-identical, only the
 //!                per-stage materialization cost changes
+//!   --journal DIR
+//!                run the journaled selections of `ltm` and `table4`
+//!                with a write-ahead journal per selection under DIR:
+//!                every round boundary is fsynced, and the journaled
+//!                result is asserted bit-identical to the plain one.
+//!                Journal and fault counters land in the printed
+//!                summary and the metrics export
+//!   --resume     replay existing journals under `--journal DIR` to
+//!                their last complete round boundary and continue from
+//!                there (after a crash — or a SUBMOD_FAULTS=crash-round-N
+//!                injection — rerunning with --resume completes the run
+//!                without redoing finished rounds)
 //!
 //! With `SUBMOD_TRACE=spans` or `=full` (see the README's
 //! Observability section) every experiment exports a chrome-trace to
@@ -86,6 +98,8 @@ fn main() {
         quick: false,
         report_memory: false,
         graph_store: GraphStoreMode::Mem,
+        journal: None,
+        resume: false,
     };
     let mut i = 1;
     while i < args.len() {
@@ -120,6 +134,13 @@ fn main() {
                     _ => die("--fusion expects `on` or `off`"),
                 };
             }
+            "--journal" => {
+                i += 1;
+                ctx.journal = Some(PathBuf::from(
+                    args.get(i).unwrap_or_else(|| die("--journal expects a directory")),
+                ));
+            }
+            "--resume" => ctx.resume = true,
             "--threads" => {
                 i += 1;
                 let threads: usize = args
@@ -132,6 +153,9 @@ fn main() {
             other => die(&format!("unknown option `{other}`")),
         }
         i += 1;
+    }
+    if ctx.resume && ctx.journal.is_none() {
+        die("--resume requires --journal DIR");
     }
 
     let start = Instant::now();
@@ -213,7 +237,7 @@ fn print_usage() {
     println!(
         "usage: experiments <fig1|fig2|fig3|fig4|fig5|fig13|fig15|fig16|delta|table2|table3|table4|sec63|baselines|theory|ltm|profile|all> \
          [--scale F] [--out DIR] [--quick] [--threads N] [--report-memory] \
-         [--graph-store mem|mmap] [--fusion on|off]"
+         [--graph-store mem|mmap] [--fusion on|off] [--journal DIR] [--resume]"
     );
 }
 

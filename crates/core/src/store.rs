@@ -251,6 +251,12 @@ impl GraphError {
     }
 }
 
+/// Folds a primary failure and its failed fallback into one `io::Error`
+/// so both causes survive into the rendered [`GraphError::Io`] detail.
+fn io_pair(primary: std::io::Error, fallback: std::io::Error) -> std::io::Error {
+    std::io::Error::new(primary.kind(), format!("{primary}; owned-buffer fallback: {fallback}"))
+}
+
 /// FNV-1a 64-bit hash of the payload bytes (everything after the header).
 ///
 /// Part of the format contract: corruption tests recompute it after
@@ -429,10 +435,43 @@ impl MappedCsr {
 /// Returns the mapped CSR sections plus the utilities (copied out — they
 /// are `O(nodes)`, dwarfed by the `O(edges)` arrays that stay mapped).
 pub(crate) fn open_store(path: &Path) -> Result<(MappedCsr, Option<Vec<f32>>), GraphError> {
+    use submod_obs::faults::{self, FaultSite};
     let _span = submod_obs::span_full("store.open");
-    let file = File::open(path).map_err(|e| GraphError::io("opening the store file", e))?;
-    let mmap = submod_mman::Mmap::map_readonly(&file)
-        .map_err(|e| GraphError::io("mapping the store file", e))?;
+    // Injected transient open faults self-clear, so a bounded retry always
+    // recovers; injected permanent faults exhaust the attempts and surface
+    // as a typed error like any real open failure would.
+    let file = {
+        let mut opened = None;
+        for attempt in 0..faults::MAX_IO_ATTEMPTS {
+            if let Some(err) = faults::inject_io(FaultSite::StoreOpen) {
+                if faults::is_injected_transient(&err) && attempt + 1 < faults::MAX_IO_ATTEMPTS {
+                    faults::backoff(attempt);
+                    continue;
+                }
+                return Err(GraphError::io("opening the store file", err));
+            }
+            opened =
+                Some(File::open(path).map_err(|e| GraphError::io("opening the store file", e))?);
+            break;
+        }
+        opened.expect("the open loop either returns an error or opens the file")
+    };
+    // A failed mmap (no mmap support, address-space exhaustion, or an
+    // injected mmap-open fault) degrades to reading the file into an owned
+    // buffer: the run proceeds at the cost of residency, and the switch is
+    // recorded — never silent.
+    let mmap = match submod_mman::Mmap::map_readonly(&file) {
+        Ok(mmap) => mmap,
+        Err(map_err) => {
+            submod_obs::counter!("store.mmap_open_fallbacks").incr();
+            submod_mman::Mmap::read_owned(&file).map_err(|read_err| {
+                GraphError::io(
+                    "mapping the store file (and the owned-buffer fallback)",
+                    io_pair(map_err, read_err),
+                )
+            })?
+        }
+    };
     let bytes: &[u8] = &mmap;
     submod_obs::counter!("store.opens").incr();
     submod_obs::counter!("store.mapped_bytes").add(bytes.len() as u64);
@@ -592,21 +631,45 @@ pub(crate) fn force_mmap() -> bool {
     })
 }
 
+/// Removes a temp store file on drop, so a panic or early return between
+/// write and unlink cannot leak it into the temp dir.
+struct TempStoreGuard {
+    path: std::path::PathBuf,
+}
+
+impl Drop for TempStoreGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
 /// Writes `graph` to a fresh temp file, reopens it memory-mapped, and
 /// unlinks the file (the mapping keeps it alive). Used by the
-/// `SUBMOD_GRAPH_STORE=mmap` forcing knob, so a failure here panics with
-/// context rather than silently falling back to the in-memory backing the
-/// knob exists to exclude.
+/// `SUBMOD_GRAPH_STORE=mmap` forcing knob. A failure here keeps the
+/// original in-memory graph — the run proceeds on the backing the knob
+/// exists to exclude, and the degradation is recorded via the
+/// `store.forced_store_fallbacks` counter plus a stderr note, never
+/// silently.
 pub(crate) fn reopen_via_temp_store(graph: SimilarityGraph) -> SimilarityGraph {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
-    let path = std::env::temp_dir().join(format!(
-        "submod-forced-store-{}-{}.csr",
-        std::process::id(),
-        COUNTER.fetch_add(1, Ordering::Relaxed)
-    ));
-    graph.write_store(&path).expect("SUBMOD_GRAPH_STORE=mmap: writing the forced store failed");
-    let mapped = SimilarityGraph::open_store(&path)
-        .expect("SUBMOD_GRAPH_STORE=mmap: reopening the forced store failed");
-    let _ = std::fs::remove_file(&path);
-    mapped
+    let guard = TempStoreGuard {
+        path: std::env::temp_dir().join(format!(
+            "submod-forced-store-{}-{}.csr",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        )),
+    };
+    let reopened =
+        graph.write_store(&guard.path).and_then(|()| SimilarityGraph::open_store(&guard.path));
+    match reopened {
+        Ok(mapped) => mapped,
+        Err(err) => {
+            submod_obs::counter!("store.forced_store_fallbacks").incr();
+            eprintln!(
+                "SUBMOD_GRAPH_STORE=mmap: forced store round-trip failed ({err}); \
+                 continuing with the in-memory backing"
+            );
+            graph
+        }
+    }
 }

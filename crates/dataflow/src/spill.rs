@@ -28,6 +28,46 @@ use std::fs::{self, File};
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use submod_obs::faults::{self, FaultSite};
+
+/// Runs the fault gate for `site` (retrying injected transients with
+/// bounded backoff) before the caller touches the spill file. Injected
+/// permanent faults surface as the same typed error a real one would.
+fn fault_gate(site: FaultSite, context: &'static str) -> Result<(), DataflowError> {
+    faults::check_io(site).map_err(|e| DataflowError::io(context, e))
+}
+
+/// Deletes a spill file that is still being written if the writer is
+/// dropped before `finish` — an injected panic (or any unwind) mid-spill
+/// must not leak partial files into the spill directory.
+#[derive(Debug)]
+struct PendingFileGuard {
+    path: Option<PathBuf>,
+}
+
+impl PendingFileGuard {
+    fn new(path: PathBuf) -> Self {
+        PendingFileGuard { path: Some(path) }
+    }
+
+    fn path(&self) -> &Path {
+        self.path.as_deref().expect("guard holds its path until disarmed")
+    }
+
+    /// Marks the file complete: ownership of the path passes to the
+    /// caller and the drop cleanup is disarmed.
+    fn disarm(mut self) -> PathBuf {
+        self.path.take().expect("a guard is disarmed at most once")
+    }
+}
+
+impl Drop for PendingFileGuard {
+    fn drop(&mut self) {
+        if let Some(path) = &self.path {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
 
 /// Rows per columnar block: bounds reader memory to one block of columns
 /// regardless of shard size.
@@ -112,6 +152,7 @@ fn write_lz_block(
 
 impl ByteSink {
     fn create(path: &Path, compress: bool) -> Result<Self, DataflowError> {
+        fault_gate(FaultSite::SpillOpen, "creating spill file")?;
         let file = File::create(path).map_err(|e| DataflowError::io("creating spill file", e))?;
         let writer = BufWriter::new(file);
         Ok(if compress {
@@ -122,6 +163,7 @@ impl ByteSink {
     }
 
     fn write_all(&mut self, bytes: &[u8]) -> Result<(), DataflowError> {
+        fault_gate(FaultSite::SpillWrite, "writing spill bytes")?;
         match self {
             ByteSink::Plain { writer, disk } => {
                 writer.write_all(bytes).map_err(|e| DataflowError::io("writing spill bytes", e))?;
@@ -141,6 +183,7 @@ impl ByteSink {
 
     /// Flushes everything and returns the bytes written to disk.
     fn finish(self) -> Result<u64, DataflowError> {
+        fault_gate(FaultSite::SpillWrite, "flushing spill file")?;
         match self {
             ByteSink::Plain { mut writer, disk } => {
                 writer.flush().map_err(|e| DataflowError::io("flushing spill file", e))?;
@@ -165,6 +208,7 @@ enum ByteSource {
 
 impl ByteSource {
     fn open(path: &Path, compressed: bool) -> Result<Self, DataflowError> {
+        fault_gate(FaultSite::SpillOpen, "opening spill file")?;
         let handle = File::open(path).map_err(|e| DataflowError::io("opening spill file", e))?;
         let reader = BufReader::new(handle);
         Ok(if compressed {
@@ -175,6 +219,7 @@ impl ByteSource {
     }
 
     fn read_exact(&mut self, mut out: &mut [u8]) -> Result<(), DataflowError> {
+        fault_gate(FaultSite::SpillRead, "reading spill bytes")?;
         match self {
             ByteSource::Plain(reader) => {
                 reader.read_exact(out).map_err(|e| DataflowError::io("reading spill bytes", e))
@@ -226,7 +271,7 @@ impl ByteSource {
 /// buffered writes.
 pub(crate) struct SpillWriter {
     sink: ByteSink,
-    path: PathBuf,
+    guard: PendingFileGuard,
     count: usize,
     bytes: u64,
     compressed: bool,
@@ -235,10 +280,14 @@ pub(crate) struct SpillWriter {
 
 impl SpillWriter {
     pub fn create(path: PathBuf, compress: bool) -> Result<Self, DataflowError> {
-        let sink = ByteSink::create(&path, compress)?;
+        // The guard owns the path until `finish`: a writer dropped
+        // mid-spill (error propagation, an injected panic) removes its
+        // partial file instead of leaking it.
+        let guard = PendingFileGuard::new(path);
+        let sink = ByteSink::create(guard.path(), compress)?;
         Ok(SpillWriter {
             sink,
-            path,
+            guard,
             count: 0,
             bytes: 0,
             compressed: compress,
@@ -258,9 +307,11 @@ impl SpillWriter {
     }
 
     pub fn finish(self) -> Result<SpillFile, DataflowError> {
+        // A failed flush drops `self.guard` still armed, removing the
+        // unusable file.
         let disk_bytes = self.sink.finish()?;
         Ok(SpillFile {
-            path: self.path,
+            path: self.guard.disarm(),
             count: self.count,
             bytes: self.bytes,
             disk_bytes,
@@ -278,7 +329,8 @@ pub(crate) fn spill_columns<T: Record>(
     records: &[T],
     kinds: &[ColKind],
 ) -> Result<SpillFile, DataflowError> {
-    let mut sink = ByteSink::create(&path, compress)?;
+    let guard = PendingFileGuard::new(path);
+    let mut sink = ByteSink::create(guard.path(), compress)?;
     let mut columns: Vec<Column> = kinds.iter().map(|&k| Column::new(k)).collect();
     let mut col_bytes = Vec::new();
     let mut bytes = 0u64;
@@ -300,7 +352,7 @@ pub(crate) fn spill_columns<T: Record>(
     }
     let disk_bytes = sink.finish()?;
     Ok(SpillFile {
-        path,
+        path: guard.disarm(),
         count: records.len(),
         bytes,
         disk_bytes,

@@ -42,6 +42,7 @@ use crate::config::BoundingMode;
 use crate::{BoundingConfig, DistError, SamplingStrategy};
 use submod_core::{NodeId, NodeSet, PairwiseObjective, SimilarityGraph};
 use submod_dataflow::{PCollection, Pipeline};
+use submod_journal::Record;
 
 /// The result of a bounding run.
 #[derive(Clone, Debug, PartialEq)]
@@ -582,6 +583,18 @@ pub fn bound_in_memory_with_stats(
     k: usize,
     config: &BoundingConfig,
 ) -> Result<(BoundingOutcome, BoundingStats), DistError> {
+    bound_in_memory_with_journal(graph, objective, k, config, None)
+}
+
+/// [`bound_in_memory_with_stats`] with an optional run journal — the
+/// crate-internal seam the journaled pipeline threads through.
+pub(crate) fn bound_in_memory_with_journal(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    config: &BoundingConfig,
+    journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<(BoundingOutcome, BoundingStats), DistError> {
     validate(graph, objective, k)?;
     let mut backend = InMemoryBackend {
         graph,
@@ -589,7 +602,7 @@ pub fn bound_in_memory_with_stats(
         mode: config.mode,
         mean_utility: mean_utility(objective, graph.num_nodes()),
     };
-    run_bounding(graph, k, config, &mut backend)
+    run_bounding(graph, k, config, &mut backend, journal)
 }
 
 /// Runs bounding on the dataflow engine with the bound table
@@ -637,18 +650,39 @@ pub fn bound_dataflow_with_stats(
         mode: config.mode,
         mean_utility: mean_utility(objective, graph.num_nodes()),
     };
-    run_bounding(graph, k, config, &mut backend)
+    run_bounding(graph, k, config, &mut backend, None)
+}
+
+/// Rebuilds a [`NodeSet`] from the journal's dense word representation.
+fn nodeset_from_words(n: usize, words: &[u64]) -> NodeSet {
+    let mut set = NodeSet::new(n);
+    for (index, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            set.insert(NodeId::from_index(index * 64 + bit));
+            bits &= bits - 1;
+        }
+    }
+    set
 }
 
 /// The shared grow/shrink driver. The backend produces per-pass candidate
 /// lists; everything downstream — thresholds already applied, the sorted
 /// capped decisions, the state updates — is common code, which is what
 /// guarantees in-memory/dataflow equality.
+///
+/// With a journal, every completed grow+shrink cycle is committed
+/// (append + fsync) and a final [`Record::BoundingDone`] captures the
+/// post-processed outcome. On resume, replayed cycles restore the
+/// decision state, counters, and cumulative stats; a replayed
+/// `BoundingDone` short-circuits the whole phase.
 fn run_bounding(
     graph: &SimilarityGraph,
     k: usize,
     config: &BoundingConfig,
     backend: &mut dyn PassBackend,
+    mut journal: Option<&mut crate::journal::RunJournal>,
 ) -> Result<(BoundingOutcome, BoundingStats), DistError> {
     let _span = submod_obs::span("bound.run");
     let n = graph.num_nodes();
@@ -659,7 +693,66 @@ fn run_bounding(
     let mut pass = 0u64;
     let exact = config.is_exact();
 
-    for _cycle in 0..config.max_cycles {
+    // Replay: restore the last committed cycle boundary. A cycle whose
+    // record says `changed == false` is the fixpoint — an uninterrupted
+    // run stops right after it, so the live loop is skipped entirely.
+    let mut start_cycle = 0usize;
+    let mut at_fixpoint = false;
+    if let Some(j) = journal.as_deref_mut() {
+        while let Some(Record::BoundingCycle {
+            cycle,
+            changed,
+            grow_rounds: grow,
+            shrink_rounds: shrink,
+            pass: pass_count,
+            stats: snapshot,
+            included,
+            excluded_words,
+        }) = j.take_bounding_cycle()
+        {
+            state.included = NodeSet::from_members(n, included.iter().map(|&v| NodeId::new(v)));
+            state.excluded = nodeset_from_words(n, &excluded_words);
+            grow_rounds = grow as usize;
+            shrink_rounds = shrink as usize;
+            pass = pass_count;
+            stats = crate::journal::restore_bounding(&snapshot);
+            start_cycle = cycle as usize;
+            at_fixpoint = !changed;
+        }
+        if let Some(Record::BoundingDone {
+            grow_rounds: grow,
+            shrink_rounds: shrink,
+            k_remaining,
+            included,
+            excluded_words,
+        }) = j.take_bounding_done()
+        {
+            // The previous attempt finished bounding: the record already
+            // carries the post-processed final state.
+            let done = State {
+                included: NodeSet::from_members(n, included.iter().map(|&v| NodeId::new(v))),
+                excluded: nodeset_from_words(n, &excluded_words),
+                k,
+            };
+            let remaining = done.undecided(n);
+            return Ok((
+                BoundingOutcome {
+                    included: included.iter().map(|&v| NodeId::new(v)).collect(),
+                    excluded_count: done.excluded.len(),
+                    remaining,
+                    grow_rounds: grow as usize,
+                    shrink_rounds: shrink as usize,
+                    k_remaining: k_remaining as usize,
+                },
+                stats,
+            ));
+        }
+    }
+
+    for cycle in start_cycle..config.max_cycles {
+        if at_fixpoint {
+            break;
+        }
         if state.k_remaining() == 0 {
             break;
         }
@@ -732,6 +825,20 @@ fn run_bounding(
             changed = true;
         }
 
+        if let Some(j) = journal.as_deref_mut() {
+            j.append_sync(&Record::BoundingCycle {
+                cycle: (cycle + 1) as u64,
+                changed,
+                grow_rounds: grow_rounds as u64,
+                shrink_rounds: shrink_rounds as u64,
+                pass,
+                stats: crate::journal::snapshot_bounding(&stats),
+                included: state.included.iter().map(|v| v.raw()).collect(),
+                excluded_words: state.excluded.words().to_vec(),
+            })?;
+            submod_obs::faults::maybe_crash_after_round((cycle + 1) as u64);
+        }
+
         if !changed {
             break;
         }
@@ -747,6 +854,15 @@ fn run_bounding(
     let included: Vec<NodeId> = state.included.iter().collect();
     let remaining = state.undecided(n);
     let k_remaining = state.k_remaining();
+    if let Some(j) = journal {
+        j.append_sync(&Record::BoundingDone {
+            grow_rounds: grow_rounds as u64,
+            shrink_rounds: shrink_rounds as u64,
+            k_remaining: k_remaining as u64,
+            included: included.iter().map(|v| v.raw()).collect(),
+            excluded_words: state.excluded.words().to_vec(),
+        })?;
+    }
     Ok((
         BoundingOutcome {
             excluded_count: state.excluded.len(),

@@ -127,6 +127,12 @@ pub(crate) trait MachineGreedyBackend {
     /// Ends the phase, restricting the pool to `survivors`.
     fn end_phase(&mut self, survivors: &NodeSet) -> Result<(), DistError>;
 
+    /// Replaces the pool wholesale — the journal-resume entry point. The
+    /// ids arrive in the journal's pop order; the backend canonicalizes
+    /// (sorts and deduplicates) so the restored pool is exactly the pool
+    /// an uninterrupted run would carry into the next round.
+    fn restore_pool(&mut self, pool: &[u64]) -> Result<(), DistError>;
+
     /// Broadcast bytes shipped to workers so far (0 for the in-memory
     /// reference).
     fn bytes_broadcast(&self) -> u64;
@@ -333,6 +339,16 @@ impl MachineGreedyBackend for InMemoryGreedyBackend<'_> {
 
     fn end_phase(&mut self, survivors: &NodeSet) -> Result<(), DistError> {
         self.pool.retain(|&v| survivors.contains(NodeId::new(v)));
+        self.buckets.clear();
+        self.queues.clear();
+        Ok(())
+    }
+
+    fn restore_pool(&mut self, pool: &[u64]) -> Result<(), DistError> {
+        let mut ids = pool.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        self.pool = ids;
         self.buckets.clear();
         self.queues.clear();
         Ok(())
@@ -644,6 +660,16 @@ impl MachineGreedyBackend for DataflowGreedyBackend<'_> {
             self.pipeline.broadcast_words(survivors.words().to_vec(), self.graph.num_nodes());
         self.pool = self.pool.filter(move |&v| keep.contains(v))?;
         self.pool_len = self.pool.count()? as usize;
+        self.table = None;
+        Ok(())
+    }
+
+    fn restore_pool(&mut self, pool: &[u64]) -> Result<(), DistError> {
+        let mut ids = pool.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        self.pool_len = ids.len();
+        self.pool = self.pipeline.from_vec(ids);
         self.table = None;
         Ok(())
     }

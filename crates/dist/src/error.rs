@@ -2,6 +2,7 @@ use std::error::Error;
 use std::fmt;
 use submod_core::CoreError;
 use submod_dataflow::DataflowError;
+use submod_journal::JournalError;
 
 /// Errors produced by the distributed selection layer.
 #[derive(Clone, Debug)]
@@ -16,6 +17,8 @@ pub enum DistError {
     Core(CoreError),
     /// A pipeline operation failed in the dataflow engine.
     Dataflow(DataflowError),
+    /// A checkpoint journal could not be written, read, or resumed.
+    Journal(JournalError),
 }
 
 impl DistError {
@@ -32,6 +35,7 @@ impl fmt::Display for DistError {
             }
             DistError::Core(inner) => write!(f, "core failure: {inner}"),
             DistError::Dataflow(inner) => write!(f, "dataflow failure: {inner}"),
+            DistError::Journal(inner) => write!(f, "journal failure: {inner}"),
         }
     }
 }
@@ -41,6 +45,7 @@ impl Error for DistError {
         match self {
             DistError::Core(inner) => Some(inner),
             DistError::Dataflow(inner) => Some(inner),
+            DistError::Journal(inner) => Some(inner),
             _ => None,
         }
     }
@@ -58,6 +63,12 @@ impl From<DataflowError> for DistError {
     }
 }
 
+impl From<JournalError> for DistError {
+    fn from(err: JournalError) -> Self {
+        DistError::Journal(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +79,9 @@ mod tests {
         assert!(err.source().is_some());
         let err: DistError = DataflowError::InvalidArgument { detail: "x".into() }.into();
         assert!(err.source().is_some());
+        let err: DistError = JournalError::UnknownRecordKind { kind: 9 }.into();
+        assert!(err.source().is_some());
+        assert!(err.to_string().contains("journal failure"));
         assert!(DistError::config("bad p").source().is_none());
     }
 

@@ -88,6 +88,11 @@ fn keying_for(style: PartitionStyle, n: usize, machines: usize, seed: u64) -> Ma
 
 /// The shared map + merge driver: identical on both backends, which is
 /// what makes the in-memory and dataflow runs bitwise-identical.
+///
+/// With a journal, the completed map phase is committed as a single
+/// round-1 record; a resume replays it and jumps straight to the
+/// driver-side merge, which is recomputed deterministically.
+#[allow(clippy::too_many_arguments)]
 fn run_greedi(
     graph: &SimilarityGraph,
     objective: &PairwiseObjective,
@@ -96,16 +101,42 @@ fn run_greedi(
     style: PartitionStyle,
     seed: u64,
     backend: &mut dyn MachineGreedyBackend,
+    mut journal: Option<&mut crate::journal::RunJournal>,
 ) -> Result<GreediReport, DistError> {
     let n = graph.num_nodes();
-    // Map phase: every machine solves its partition for the full budget
-    // `k`, one synchronized argmax step at a time.
-    backend.begin_phase(keying_for(style, n, machines, seed), machines)?;
-    let outcome = run_phase(backend, n, k)?;
+    let replayed_union = journal.as_deref_mut().and_then(|j| j.take_greedy_round(1));
+    let union: Vec<NodeId> =
+        if let Some(submod_journal::Record::GreedyRound { selected, .. }) = replayed_union {
+            selected.iter().map(|&v| NodeId::new(v)).collect()
+        } else {
+            // Map phase: every machine solves its partition for the full
+            // budget `k`, one synchronized argmax step at a time.
+            backend.begin_phase(keying_for(style, n, machines, seed), machines)?;
+            let outcome = run_phase(backend, n, k)?;
+            if let Some(j) = journal.as_mut() {
+                j.append_sync(&submod_journal::Record::GreedyRound {
+                    round: 1,
+                    input_size: n as u64,
+                    target: k as u64,
+                    partitions: machines as u64,
+                    seed,
+                    stats: submod_journal::GreedySnapshot {
+                        rounds: 1,
+                        steps: outcome.steps as u64,
+                        peak_step_winners: outcome.peak_step_winners as u64,
+                        winners_collected: outcome.selected.len() as u64,
+                        ..Default::default()
+                    },
+                    selected: outcome.selected.iter().map(|v| v.raw()).collect(),
+                })?;
+                submod_obs::faults::maybe_crash_after_round(1);
+            }
+            outcome.selected
+        };
 
     // Merge phase: one machine holds the whole union and re-runs greedy.
-    let union_size = outcome.selected.len();
-    let mut merge_pool = outcome.selected;
+    let union_size = union.len();
+    let mut merge_pool = union;
     let chosen = machine_select(graph, objective, &mut merge_pool, k)?;
     let value = objective.evaluate(graph, &chosen);
 
@@ -136,10 +167,24 @@ pub fn greedi(
     style: PartitionStyle,
     seed: u64,
 ) -> Result<GreediReport, DistError> {
+    greedi_with_journal(graph, objective, k, machines, style, seed, None)
+}
+
+/// [`greedi`] with an optional run journal — the crate-internal seam the
+/// journaled entry points thread through.
+pub(crate) fn greedi_with_journal(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    machines: usize,
+    style: PartitionStyle,
+    seed: u64,
+    journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<GreediReport, DistError> {
     validate(graph, objective, k, machines)?;
     let ground: Vec<NodeId> = (0..graph.num_nodes()).map(NodeId::from_index).collect();
     let mut backend = InMemoryGreedyBackend::new(graph, objective, &ground);
-    run_greedi(graph, objective, k, machines, style, seed, &mut backend)
+    run_greedi(graph, objective, k, machines, style, seed, &mut backend, journal)
 }
 
 /// [`greedi`] with the map phase on the dataflow engine: partitions are
@@ -162,10 +207,26 @@ pub fn greedi_dataflow(
     style: PartitionStyle,
     seed: u64,
 ) -> Result<GreediReport, DistError> {
+    greedi_dataflow_with_journal(pipeline, graph, objective, k, machines, style, seed, None)
+}
+
+/// [`greedi_dataflow`] with an optional run journal — the crate-internal
+/// seam the journaled entry points thread through.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn greedi_dataflow_with_journal(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    machines: usize,
+    style: PartitionStyle,
+    seed: u64,
+    journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<GreediReport, DistError> {
     validate(graph, objective, k, machines)?;
     let ground: Vec<NodeId> = (0..graph.num_nodes()).map(NodeId::from_index).collect();
     let mut backend = DataflowGreedyBackend::new(pipeline, graph, objective, &ground);
-    run_greedi(graph, objective, k, machines, style, seed, &mut backend)
+    run_greedi(graph, objective, k, machines, style, seed, &mut backend, journal)
 }
 
 #[cfg(test)]

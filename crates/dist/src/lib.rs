@@ -29,6 +29,11 @@
 //! - [`select_subset`] / [`complete_selection`] — the end-to-end
 //!   pipeline: bounding → distributed greedy over the undecided points →
 //!   completion, always returning exactly `k` distinct points.
+//! - [`distributed_greedy_journaled`] / [`select_subset_journaled`] (and
+//!   friends) — the same algorithms wrapped around a checksummed
+//!   write-ahead journal ([`submod_journal`]): every round boundary is
+//!   committed, and a rerun against the same journal path resumes from
+//!   the last complete boundary with a **bitwise-identical** result.
 //! - [`theorem_4_6`] — the paper's probabilistic quality guarantee for
 //!   approximate bounding, with a [`Theorem46Guarantee::holds`] check.
 //!
@@ -65,6 +70,7 @@ mod config;
 mod engine;
 mod error;
 mod greedi;
+mod journal;
 mod mix;
 mod multiround;
 mod pipeline;
@@ -80,6 +86,10 @@ pub use config::{
 };
 pub use error::DistError;
 pub use greedi::{greedi, greedi_dataflow, GreediReport, MergeStats};
+pub use journal::{
+    distributed_greedy_dataflow_journaled, distributed_greedy_journaled, greedi_dataflow_journaled,
+    greedi_journaled, select_subset_journaled,
+};
 pub use multiround::{
     distributed_greedy, distributed_greedy_dataflow, distributed_greedy_dataflow_with_stats,
     distributed_greedy_with_stats, DistGreedyReport, GreedyStats, RoundStats,

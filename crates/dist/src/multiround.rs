@@ -37,6 +37,7 @@ use crate::{DistError, DistGreedyConfig};
 use std::sync::Arc;
 use submod_core::{greedy_select, NodeId, NodeSet, PairwiseObjective, Selection, SimilarityGraph};
 use submod_dataflow::Pipeline;
+use submod_journal::Record;
 
 /// Per-round execution statistics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -236,6 +237,13 @@ fn finalize(
 /// everything downstream — the Δ-schedule targets, partition counts,
 /// keying, winner accounting, and the final trim — is common code, which
 /// is what guarantees in-memory/dataflow equality.
+///
+/// With a journal, every completed round is committed (append + fsync)
+/// before the next begins, and rounds the journal already holds are
+/// replayed instead of executed: the pool, cumulative stats, and
+/// per-round bookkeeping are restored from the records, the backend's
+/// pool is rebuilt at the replay→live transition, and the remaining
+/// rounds run exactly as an uninterrupted run would.
 fn run_multiround(
     graph: &SimilarityGraph,
     objective: &PairwiseObjective,
@@ -243,6 +251,7 @@ fn run_multiround(
     k: usize,
     config: &DistGreedyConfig,
     backend: &mut dyn MachineGreedyBackend,
+    mut journal: Option<&mut crate::journal::RunJournal>,
 ) -> Result<(DistGreedyReport, GreedyStats), DistError> {
     let _span = submod_obs::span("greedy.run");
     let n = graph.num_nodes();
@@ -257,8 +266,43 @@ fn run_multiround(
     let mut pool_len = n0;
     let mut rounds = Vec::with_capacity(config.rounds);
     let mut final_pool: Vec<NodeId> = Vec::new();
+    // While rounds replay from the journal the backend's pool is stale;
+    // `replayed_pool` carries the journal's pool until the first live
+    // round restores it into the backend. Broadcast bytes accumulated
+    // before the crash live only in the journal, so the backend's delta
+    // is offset by the last replayed snapshot.
+    let mut replayed_pool: Option<Vec<u64>> = None;
+    let mut broadcast_base = 0u64;
 
     for round in 1..=config.rounds {
+        if let Some(j) = journal.as_deref_mut() {
+            if let Some(Record::GreedyRound {
+                input_size,
+                target,
+                partitions,
+                stats: snapshot,
+                selected,
+                ..
+            }) = j.take_greedy_round(round)
+            {
+                stats = crate::journal::restore_greedy(&snapshot);
+                broadcast_base = snapshot.bytes_broadcast;
+                rounds.push(RoundStats {
+                    round,
+                    input_size: input_size as usize,
+                    target: target as usize,
+                    partitions: partitions as usize,
+                    output_size: selected.len(),
+                });
+                pool_len = selected.len();
+                final_pool = selected.iter().map(|&v| NodeId::new(v)).collect();
+                replayed_pool = Some(selected);
+                continue;
+            }
+        }
+        if let Some(pool) = replayed_pool.take() {
+            backend.restore_pool(&pool)?;
+        }
         let target = config.schedule.target(n0, k, round, config.rounds);
         let partitions = round_partitions(config, pool_len, capacity);
         let quota = target.div_ceil(partitions);
@@ -293,10 +337,28 @@ fn run_multiround(
             partitions,
             output_size: outcome.selected.len(),
         });
+        if let Some(j) = journal.as_deref_mut() {
+            j.append_sync(&Record::GreedyRound {
+                round: round as u64,
+                input_size: pool_len as u64,
+                target: target as u64,
+                partitions: partitions as u64,
+                seed,
+                stats: crate::journal::snapshot_greedy(
+                    &stats,
+                    broadcast_base + backend.bytes_broadcast(),
+                ),
+                selected: outcome.selected.iter().map(|v| v.raw()).collect(),
+            })?;
+            // Only journaled runs host the injected crash: the abort is
+            // specified to land right after a round's fsync, the state a
+            // resume has to recover from.
+            submod_obs::faults::maybe_crash_after_round(round as u64);
+        }
         pool_len = outcome.selected.len();
         final_pool = outcome.selected;
     }
-    stats.bytes_broadcast = backend.bytes_broadcast();
+    stats.bytes_broadcast = broadcast_base + backend.bytes_broadcast();
     submod_obs::gauge!("greedy.bytes_broadcast").fetch_max(stats.bytes_broadcast);
 
     let selection = finalize(graph, objective, ground, final_pool, k)?;
@@ -335,9 +397,22 @@ pub fn distributed_greedy_with_stats(
     k: usize,
     config: &DistGreedyConfig,
 ) -> Result<(DistGreedyReport, GreedyStats), DistError> {
+    distributed_greedy_with_journal(graph, objective, ground, k, config, None)
+}
+
+/// [`distributed_greedy_with_stats`] with an optional run journal —
+/// the crate-internal seam the journaled entry points thread through.
+pub(crate) fn distributed_greedy_with_journal(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    ground: &[NodeId],
+    k: usize,
+    config: &DistGreedyConfig,
+    journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<(DistGreedyReport, GreedyStats), DistError> {
     validate(graph, objective, ground, k)?;
     let mut backend = InMemoryGreedyBackend::new(graph, objective, ground);
-    run_multiround(graph, objective, ground, k, config, &mut backend)
+    run_multiround(graph, objective, ground, k, config, &mut backend, journal)
 }
 
 /// [`distributed_greedy`] on the dataflow engine: the scored pool lives
@@ -380,10 +455,25 @@ pub fn distributed_greedy_dataflow_with_stats(
     k: usize,
     config: &DistGreedyConfig,
 ) -> Result<(DistGreedyReport, GreedyStats), DistError> {
+    distributed_greedy_dataflow_with_journal(pipeline, graph, objective, ground, k, config, None)
+}
+
+/// [`distributed_greedy_dataflow_with_stats`] with an optional run
+/// journal — the crate-internal seam the journaled entry points thread
+/// through.
+pub(crate) fn distributed_greedy_dataflow_with_journal(
+    pipeline: &Pipeline,
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    ground: &[NodeId],
+    k: usize,
+    config: &DistGreedyConfig,
+    journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<(DistGreedyReport, GreedyStats), DistError> {
     validate(graph, objective, ground, k)?;
     let mut backend = DataflowGreedyBackend::new(pipeline, graph, objective, ground)
         .with_winner_batch(config.winner_batch);
-    run_multiround(graph, objective, ground, k, config, &mut backend)
+    run_multiround(graph, objective, ground, k, config, &mut backend, journal)
 }
 
 #[cfg(test)]

@@ -3,10 +3,7 @@
 //! the remaining budget over the undecided points, and the completed
 //! subset is scored on the full graph.
 
-use crate::{
-    bound_in_memory, distributed_greedy, BoundingConfig, BoundingOutcome, DistError,
-    DistGreedyConfig,
-};
+use crate::{bound_in_memory, BoundingConfig, BoundingOutcome, DistError, DistGreedyConfig};
 use submod_core::{NodeId, NodeSet, PairwiseObjective, Selection, SimilarityGraph};
 
 /// Configuration of [`select_subset`]: an optional bounding phase plus the
@@ -93,6 +90,21 @@ pub fn complete_selection(
     greedy: &DistGreedyConfig,
     seed: u64,
 ) -> Result<PipelineOutcome, DistError> {
+    complete_selection_with_journal(graph, objective, k, bounding, greedy, seed, None)
+}
+
+/// [`complete_selection`] with an optional run journal — the
+/// crate-internal seam [`crate::select_subset_journaled`] threads
+/// through.
+pub(crate) fn complete_selection_with_journal(
+    graph: &SimilarityGraph,
+    objective: &PairwiseObjective,
+    k: usize,
+    bounding: Option<BoundingOutcome>,
+    greedy: &DistGreedyConfig,
+    seed: u64,
+    journal: Option<&mut crate::journal::RunJournal>,
+) -> Result<PipelineOutcome, DistError> {
     if objective.num_nodes() != graph.num_nodes() {
         return Err(submod_core::CoreError::UtilityLengthMismatch {
             utilities: objective.num_nodes(),
@@ -140,7 +152,9 @@ pub fn complete_selection(
         };
         let budget = k_remaining.min(ground.len());
         let config = greedy.clone().seed(seed);
-        let report = distributed_greedy(graph, &residual, &ground, budget, &config)?;
+        let (report, _) = crate::multiround::distributed_greedy_with_journal(
+            graph, &residual, &ground, budget, &config, journal,
+        )?;
         chosen.extend(report.selection.selected());
     }
 

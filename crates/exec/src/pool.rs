@@ -470,6 +470,10 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    // Fault-plan hook: `SUBMOD_FAULTS=panic` fires its one seeded panic
+    // here, at region entry, where the pool's unwind plumbing must carry
+    // it back to the caller intact on every thread count.
+    submod_obs::faults::inject_panic(submod_obs::faults::FaultSite::ExecRegion);
     let threads = current_num_threads().max(1);
     if threads == 1 || in_worker() || items.len() <= 1 {
         return items.into_iter().map(f).collect();

@@ -109,7 +109,8 @@ enum Backing {
     Empty,
     #[cfg(unix)]
     Mapped { ptr: *const u8, len: usize },
-    #[cfg(not(unix))]
+    /// Bytes read into an owned buffer — the non-Unix path, and the
+    /// graceful-degradation fallback when `mmap(2)` itself fails.
     Owned(Vec<u8>),
 }
 
@@ -128,12 +129,26 @@ impl Mmap {
     /// Returns the underlying OS error if the file's length cannot be
     /// queried or the mapping fails.
     pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        use submod_obs::faults::{self, FaultSite};
         let len = file.metadata()?.len();
         if len == 0 {
             return Ok(Mmap { backing: Backing::Empty });
         }
         let len = usize::try_from(len)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "file too large to map"))?;
+        // Injected transient faults are retried here (they self-clear);
+        // injected permanent and mmap-open faults surface as `Err`, and
+        // the store layer degrades to an owned backing.
+        for attempt in 0..faults::MAX_IO_ATTEMPTS {
+            if let Some(err) = faults::inject_io(FaultSite::MmanMap) {
+                if faults::is_injected_transient(&err) && attempt + 1 < faults::MAX_IO_ATTEMPTS {
+                    faults::backoff(attempt);
+                    continue;
+                }
+                return Err(err);
+            }
+            break;
+        }
         #[cfg(unix)]
         {
             let ptr = sys::map(file, len)?;
@@ -143,12 +158,33 @@ impl Mmap {
         }
         #[cfg(not(unix))]
         {
-            use std::io::Read;
-            let mut buf = Vec::with_capacity(len);
-            let mut f = file;
-            f.read_to_end(&mut buf)?;
-            Ok(Mmap { backing: Backing::Owned(buf) })
+            Self::read_owned(file)
         }
+    }
+
+    /// Reads the whole of `file` into an owned buffer behind the same
+    /// `Mmap` interface — the graceful-degradation path when
+    /// [`Mmap::map_readonly`] fails (e.g. a filesystem without mmap
+    /// support, or an injected fault). Trades residency for
+    /// availability; callers surface the switch via the
+    /// `store.mmap_open_fallbacks` counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying OS error if the file cannot be read.
+    pub fn read_owned(file: &File) -> io::Result<Mmap> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = file;
+        let len = f.metadata()?.len();
+        if len == 0 {
+            return Ok(Mmap { backing: Backing::Empty });
+        }
+        f.seek(SeekFrom::Start(0))?;
+        let mut buf = Vec::with_capacity(len as usize);
+        f.read_to_end(&mut buf)?;
+        submod_obs::counter!("mman.owned_reads").incr();
+        submod_obs::counter!("mman.owned_bytes").add(buf.len() as u64);
+        Ok(Mmap { backing: Backing::Owned(buf) })
     }
 
     /// The mapped bytes.
@@ -161,7 +197,6 @@ impl Mmap {
                 // by self (module docs, point 2).
                 unsafe { std::slice::from_raw_parts(*ptr, *len) }
             }
-            #[cfg(not(unix))]
             Backing::Owned(buf) => buf,
         }
     }
